@@ -1,0 +1,1 @@
+bench/bechamel_micro.ml: Analyze Asym_core Asym_sim Asym_structs Asym_util Backend Bechamel Benchmark Bytes Char Client Format Hashtbl Instance Int64 List Log Measure Staged Test Time Toolkit Types

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Asym_harness Asym_sim Bechamel_micro Cmd Cmdliner Experiments Fmt List Multiclient Report Term

@@ -1,0 +1,97 @@
+(* Wall-clock micro-benchmarks of the primitives each experiment leans on,
+   one Bechamel test per table/figure. These measure the real OCaml
+   implementation cost (the experiment tables report virtual time). *)
+
+open Bechamel
+open Toolkit
+open Asym_core
+
+let lat = Asym_sim.Latency.default
+
+let setup () =
+  let bk =
+    Backend.create ~name:"micro" ~max_sessions:4 ~memlog_cap:(4 * 1024 * 1024)
+      ~oplog_cap:(1024 * 1024) ~slab_size:4096 ~capacity:(64 * 1024 * 1024) lat
+  in
+  let clock = Asym_sim.Clock.create ~name:"fe" () in
+  let c = Client.connect ~name:"fe" (Client.rcb ~batch_size:64 ()) bk ~clock in
+  (bk, c)
+
+let tests () =
+  let _bk, c = setup () in
+  let h = Client.register_ds c "micro" in
+  let addr = Client.malloc c 64 in
+  ignore (Client.op_begin c ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write c ~ds:h.Types.id ~addr (Bytes.make 64 'x');
+  Client.op_end c ~ds:h.Types.id;
+  Client.flush c;
+  let module Bpt = Asym_structs.Pbptree.Make (Client) in
+  let bpt = Bpt.attach c ~name:"micro.bpt" in
+  for i = 0 to 999 do
+    Bpt.put bpt ~key:(Int64.of_int i) ~value:(Bytes.make 64 'v')
+  done;
+  Client.flush c;
+  let rng = Asym_util.Rng.create ~seed:1L in
+  let zipf = Asym_util.Zipf.create ~theta:0.99 ~n:100_000 (Asym_util.Rng.create ~seed:2L) in
+  let tx =
+    {
+      Log.Tx.ds = 1;
+      op_hi = 7L;
+      entries = List.init 8 (fun i -> Log.Mem_entry.make ~addr:(i * 64) (Bytes.make 64 'e'));
+    }
+  in
+  let tx_bytes = Log.Tx.encode tx in
+  let i = ref 0 in
+  [
+    (* Table 2: the allocator fast path. *)
+    Test.make ~name:"table2/two-tier-alloc-free"
+      (Staged.stage (fun () ->
+           let a = Client.malloc c 64 in
+           Client.free c a ~len:64));
+    (* Table 3: one cached read (the dominant RC/RCB operation). *)
+    Test.make ~name:"table3/cached-read"
+      (Staged.stage (fun () -> ignore (Client.read c ~addr ~len:64)));
+    (* Figure 6: one logged write (memory-log append into the overlay). *)
+    Test.make ~name:"fig6/mem-log-write"
+      (Staged.stage (fun () ->
+           incr i;
+           Client.write c ~ds:h.Types.id ~addr (Bytes.make 64 (Char.chr (!i land 0xff)));
+           if !i land 63 = 0 then Client.flush c));
+    (* Figure 7: B+Tree lookup through the cache. *)
+    Test.make ~name:"fig7/bptree-find"
+      (Staged.stage (fun () ->
+           ignore (Bpt.find bpt ~key:(Int64.of_int (Asym_util.Rng.int rng 1000)))));
+    (* Figure 12: the Zipf generator itself. *)
+    Test.make ~name:"fig12/zipf-next" (Staged.stage (fun () -> ignore (Asym_util.Zipf.next zipf)));
+    (* Figure 13: trace value sizing + crc of a log record. *)
+    Test.make ~name:"fig13/crc32-4k"
+      (Staged.stage
+         (let b = Bytes.make 4096 'z' in
+          fun () -> ignore (Asym_util.Crc32.digest_bytes b)));
+    (* §4.2: transaction encode + scan roundtrip. *)
+    Test.make ~name:"tx/encode-scan"
+      (Staged.stage (fun () ->
+           match Log.Tx.scan (Log.Tx.encode tx) ~pos:0 with
+           | Log.Tx.Record _ -> ()
+           | _ -> assert false));
+    (* §7.2: torn-tail scan of an intact record. *)
+    Test.make ~name:"recovery/tx-scan" (Staged.stage (fun () -> ignore (Log.Tx.scan tx_bytes ~pos:0)));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@.== Bechamel micro-benchmarks (wall-clock ns/op) ==@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Format.printf "%-28s %10.1f ns@." name est
+      | _ -> Format.printf "%-28s (no estimate)@." name)
+    results

@@ -1,0 +1,96 @@
+(* Benchmark harness entry point.
+
+   One subcommand per table/figure of the paper's evaluation (plus the
+   in-text studies), each printing paper-style rows computed from the
+   simulation's virtual time. `all` runs everything — the output compared
+   against the paper lives in EXPERIMENTS.md. *)
+
+open Cmdliner
+open Asym_harness
+
+let scale_of full = if full then Experiments.full else Experiments.quick
+
+let duration_of full = Asym_sim.Simtime.ms (if full then 80 else 25)
+
+let full_flag =
+  let doc = "Run at full scale (paper-sized preloads and op counts); slower." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let print_report r = Report.print r
+
+let run_one name full =
+  let sc = scale_of full in
+  let dur = duration_of full in
+  match name with
+  | "table2" -> print_report (Experiments.table2 sc)
+  | "table3" -> print_report (Experiments.table3 sc)
+  | "fig6" -> print_report (Experiments.fig6 sc)
+  | "fig7" -> print_report (Experiments.fig7 sc)
+  | "fig8" -> print_report (Multiclient.fig8 ~preload:sc.Experiments.preload ~duration:dur)
+  | "fig9" -> print_report (Multiclient.fig9 ~preload:(sc.Experiments.preload / 2) ~duration:dur)
+  | "fig10" ->
+      print_report
+        (Multiclient.fig10 ~preload:(sc.Experiments.preload / 2) ~ops:(sc.Experiments.ops / 2))
+  | "fig11" ->
+      print_report (Multiclient.fig11 ~preload:sc.Experiments.preload ~ops:(sc.Experiments.ops * 2))
+  | "fig12" -> print_report (Experiments.fig12 sc)
+  | "fig13" -> print_report (Experiments.fig13 sc)
+  | "cache_policy" -> print_report (Experiments.cache_policy sc)
+  | "sensitivity" -> print_report (Experiments.sensitivity sc)
+  | "latency" -> print_report (Experiments.latency sc)
+  | "ycsb" -> print_report (Experiments.ycsb sc)
+  | "lock_bench" -> print_report (Multiclient.lock_bench ~duration:dur)
+  | "ablation" -> print_report (Experiments.ablation sc)
+  | "bechamel" -> Bechamel_micro.run ()
+  | other -> Fmt.epr "unknown experiment: %s@." other
+
+let experiments =
+  [
+    "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+    "cache_policy"; "lock_bench"; "ablation"; "sensitivity"; "latency"; "ycsb";
+  ]
+
+let all_cmd =
+  let run full =
+    List.iter (fun e -> run_one e full) experiments;
+    Bechamel_micro.run ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (and the Bechamel micro-benchmarks)")
+    Term.(const run $ full_flag)
+
+let sub cmd_name doc =
+  let runner = run_one cmd_name in
+  Cmd.v (Cmd.info cmd_name ~doc) Term.(const runner $ full_flag)
+
+let cmds =
+  [
+    sub "table2" "Table 2: allocator comparison";
+    sub "table3" "Table 3: overall performance, all configurations";
+    sub "fig6" "Figure 6: throughput vs batch size";
+    sub "fig7" "Figure 7: throughput vs cache size";
+    sub "fig8" "Figure 8: reader scalability (SWMR)";
+    sub "fig9" "Figure 9: multiple structures per back-end";
+    sub "fig10" "Figure 10: partitioning across back-ends";
+    sub "fig11" "Figure 11: CPU utilization";
+    sub "fig12" "Figure 12: skewed (Zipf) workloads";
+    sub "fig13" "Figure 13: industry-trace workload mixes";
+    sub "cache_policy" "In-text §4.4: LRU vs RR vs hybrid replacement";
+    sub "sensitivity" "Extension: latency sensitivity of the optimization stack";
+    sub "latency" "Extension: per-operation latency percentiles";
+    sub "ycsb" "Extension: YCSB core workloads A/B/C/D/F";
+    sub "lock_bench" "In-text §6.3: lock ping-point test";
+    sub "ablation" "Ablations of DESIGN.md design choices";
+    sub "bechamel" "Bechamel wall-clock micro-benchmarks";
+    all_cmd;
+  ]
+
+let () =
+  let default =
+    Term.(
+      const (fun full ->
+          List.iter (fun e -> run_one e full) experiments;
+          Bechamel_micro.run ())
+      $ full_flag)
+  in
+  let info = Cmd.info "asymnvm-bench" ~doc:"Regenerate the paper's tables and figures" in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,1 @@
+examples/bank.ml: Asym_apps Asym_cluster Asym_core Asym_sim Asym_util Backend Client Clock Fmt Int64 Latency Mirror Simtime

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Asym_core Asym_sim Asym_structs Asym_util Asym_workload Backend Bytes Client Clock Fmt Int64 Latency List Printf Simtime

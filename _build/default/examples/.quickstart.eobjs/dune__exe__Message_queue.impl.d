@@ -1,0 +1,1 @@
+examples/message_queue.ml: Asym_core Asym_sim Asym_structs Backend Bytes Client Clock Fmt Latency List Printf Sched Simtime Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asym_core Asym_sim Asym_structs Backend Bytes Client Clock Fmt Int64 Latency Layout List Printf Simtime String Types

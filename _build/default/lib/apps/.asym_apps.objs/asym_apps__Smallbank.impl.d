@@ -1,0 +1,1 @@
+lib/apps/smallbank.ml: Asym_core Asym_structs Asym_util Bytes Int64 List Phash Store

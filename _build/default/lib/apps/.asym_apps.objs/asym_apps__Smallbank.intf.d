@@ -1,0 +1,1 @@
+lib/apps/smallbank.mli: Asym_core Asym_structs Asym_util

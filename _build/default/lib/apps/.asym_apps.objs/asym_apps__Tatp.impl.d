@@ -1,0 +1,1 @@
+lib/apps/tatp.ml: Asym_core Asym_structs Asym_util Bytes Int64 List Pbptree Printf Store

@@ -1,0 +1,1 @@
+lib/baseline/local_store.ml: Asym_core Asym_nvm Asym_rdma Asym_sim Bytes Clock Front_alloc Hashtbl Latency List Timeline Types

@@ -1,0 +1,1 @@
+lib/baseline/local_store.mli: Asym_core Asym_nvm Asym_sim

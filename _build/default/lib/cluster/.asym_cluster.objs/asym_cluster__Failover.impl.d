@@ -1,0 +1,1 @@
+lib/cluster/failover.ml: Asym_core Asym_nvm Backend List Mirror

@@ -1,0 +1,1 @@
+lib/cluster/failover.mli: Asym_core Asym_sim

@@ -1,0 +1,1 @@
+lib/cluster/keepalive.ml: Array Asym_sim Asym_util Hashtbl

@@ -1,0 +1,1 @@
+lib/cluster/keepalive.mli: Asym_sim Asym_util

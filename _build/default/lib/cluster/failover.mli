@@ -1,0 +1,24 @@
+(** Back-end fail-over (§7.2 Case 4).
+
+    When the keepAlive service declares a back-end permanently dead, the
+    surviving mirrors vote a successor. An NVM-backed mirror is preferred:
+    it can serve as the new back-end directly (its media image is a
+    byte-identical replica). An SSD-backed mirror can only seed a rebuild
+    onto a fresh NVM device. *)
+
+val elect : Asym_core.Mirror.t list -> Asym_core.Mirror.t option
+(** Pick the successor: the first live NVM-backed mirror, else the first
+    live SSD-backed one, else [None]. *)
+
+val promote :
+  ?name:string -> Asym_core.Mirror.t -> Asym_sim.Latency.t -> Asym_core.Backend.t
+(** Bring up a new back-end from the mirror's replica image. For an
+    NVM-backed mirror the device is adopted in place; for an SSD-backed
+    mirror the image is copied onto a new NVM device first (the paper's
+    "front-ends reconstruct the data structure to a new back-end"). The
+    new back-end replays any pending logs exactly like a restart. *)
+
+val failover :
+  ?name:string -> dead:Asym_core.Backend.t -> Asym_sim.Latency.t ->
+  Asym_core.Backend.t option
+(** Convenience: elect among the dead back-end's mirrors and promote. *)

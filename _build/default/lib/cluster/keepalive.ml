@@ -1,0 +1,47 @@
+type node_id = string
+
+type t = {
+  replicas : int;
+  lease : Asym_sim.Simtime.t;
+  skew : Asym_sim.Simtime.t;
+  rng : Asym_util.Rng.t;
+  (* per node, per replica: the virtual time each replica last saw a
+     renewal *)
+  seen : (node_id, Asym_sim.Simtime.t array) Hashtbl.t;
+}
+
+let create ?(replicas = 3) ?(lease = Asym_sim.Simtime.ms 10) ?(skew = Asym_sim.Simtime.us 100)
+    rng =
+  assert (replicas >= 1);
+  { replicas; lease; skew; rng; seen = Hashtbl.create 8 }
+
+let observe t node ~now =
+  let obs =
+    match Hashtbl.find_opt t.seen node with
+    | Some a -> a
+    | None ->
+        let a = Array.make t.replicas 0 in
+        Hashtbl.replace t.seen node a;
+        a
+  in
+  for i = 0 to t.replicas - 1 do
+    let delay = if t.skew = 0 then 0 else Asym_util.Rng.int t.rng (t.skew + 1) in
+    obs.(i) <- max obs.(i) (now + delay)
+  done
+
+let register = observe
+let renew = observe
+
+let alive t node ~now =
+  match Hashtbl.find_opt t.seen node with
+  | None -> false
+  | Some obs ->
+      let expired = Array.fold_left (fun n seen -> if now > seen + t.lease then n + 1 else n) 0 obs in
+      (* Crashed only when a majority of replicas saw the lease expire. *)
+      expired * 2 <= t.replicas
+
+let crashed t ~now =
+  Hashtbl.fold (fun node _ acc -> if alive t node ~now then acc else node :: acc) t.seen []
+
+let forget t node = Hashtbl.remove t.seen node
+let members t = Hashtbl.fold (fun node _ acc -> node :: acc) t.seen []

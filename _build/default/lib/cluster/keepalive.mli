@@ -1,0 +1,35 @@
+(** Lease-based failure detection (the paper's keepAlive service, §7.2).
+
+    The paper delegates failure detection to a replicated ZooKeeper
+    ensemble: every node holds a lease and renews it periodically; a node
+    whose lease expires is declared crashed. This module reproduces that
+    contract over virtual time — including the ensemble: a node is only
+    declared crashed once a {e majority} of detector replicas has seen its
+    lease expire (replicas may observe renewals with different network
+    skews). *)
+
+type node_id = string
+
+type t
+
+val create :
+  ?replicas:int -> ?lease:Asym_sim.Simtime.t -> ?skew:Asym_sim.Simtime.t ->
+  Asym_util.Rng.t -> t
+(** [replicas] defaults to 3, [lease] to 10 ms of virtual time, [skew] to
+    the maximum per-replica observation delay (default 100 µs). *)
+
+val register : t -> node_id -> now:Asym_sim.Simtime.t -> unit
+val renew : t -> node_id -> now:Asym_sim.Simtime.t -> unit
+(** Heartbeat: each detector replica observes the renewal with its own
+    skew. Unknown nodes are registered implicitly. *)
+
+val alive : t -> node_id -> now:Asym_sim.Simtime.t -> bool
+(** Majority verdict at time [now]. *)
+
+val crashed : t -> now:Asym_sim.Simtime.t -> node_id list
+(** All registered nodes a majority considers expired. *)
+
+val forget : t -> node_id -> unit
+(** Remove a node from the group (Case 5: crashed mirror is dropped). *)
+
+val members : t -> node_id list

@@ -1,0 +1,1 @@
+lib/core/backend.ml: Array Asym_nvm Asym_rdma Asym_sim Backend_alloc Bytes Clock Conflict Device Filename Hashtbl Int64 Latency Layout List Log Mirror Naming Printf Queue Rpc_msg Timeline Types Verbs

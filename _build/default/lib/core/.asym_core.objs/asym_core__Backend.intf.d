@@ -1,0 +1,1 @@
+lib/core/backend.mli: Asym_nvm Asym_rdma Asym_sim Layout Log Mirror Rpc_msg Types

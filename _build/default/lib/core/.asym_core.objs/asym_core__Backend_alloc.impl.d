@@ -1,0 +1,1 @@
+lib/core/backend_alloc.ml: Asym_nvm Bytes Layout

@@ -1,0 +1,1 @@
+lib/core/backend_alloc.mli: Asym_nvm Layout Types

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Array Asym_util Bytes Hashtbl

@@ -1,0 +1,1 @@
+lib/core/cache.mli: Asym_util Types

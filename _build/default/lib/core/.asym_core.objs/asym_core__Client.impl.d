@@ -1,0 +1,1 @@
+lib/core/client.ml: Asym_nvm Asym_rdma Asym_sim Asym_util Backend Bytes Cache Clock Fmt Front_alloc Hashtbl Int64 Latency Layout List Log Overlay Printf Rpc_msg Simtime Timeline Types Verbs

@@ -1,0 +1,1 @@
+lib/core/client.mli: Asym_sim Asym_util Backend Cache Front_alloc Log Store Types

@@ -1,0 +1,1 @@
+lib/core/front_alloc.ml: Array Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Asym_nvm Asym_util Codec List

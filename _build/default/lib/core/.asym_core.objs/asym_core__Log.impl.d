@@ -1,0 +1,1 @@
+lib/core/log.ml: Asym_util Bytes Char Codec Crc32 List Types

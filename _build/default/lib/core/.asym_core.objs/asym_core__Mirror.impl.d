@@ -1,0 +1,1 @@
+lib/core/mirror.ml: Asym_nvm Asym_sim Bytes Latency Timeline

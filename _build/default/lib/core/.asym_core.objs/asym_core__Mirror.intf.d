@@ -1,0 +1,1 @@
+lib/core/mirror.mli: Asym_nvm Asym_sim

@@ -1,0 +1,1 @@
+lib/core/naming.ml: Asym_nvm Asym_util Bytes Codec Crc32 Hashtbl Types

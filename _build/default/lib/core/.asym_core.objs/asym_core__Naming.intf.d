@@ -1,0 +1,1 @@
+lib/core/naming.mli: Asym_nvm Types

@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Bytes Hashtbl

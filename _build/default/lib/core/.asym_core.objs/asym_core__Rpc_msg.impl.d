@@ -1,0 +1,1 @@
+lib/core/rpc_msg.ml: Asym_util Codec Format List Printf Types

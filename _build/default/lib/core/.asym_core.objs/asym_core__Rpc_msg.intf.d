@@ -1,0 +1,1 @@
+lib/core/rpc_msg.mli: Format Types

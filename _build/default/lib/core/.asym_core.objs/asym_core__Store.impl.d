@@ -1,0 +1,1 @@
+lib/core/store.ml: Asym_sim Types

@@ -1,0 +1,43 @@
+(** Front-end DRAM page cache (§4.4).
+
+    Maps back-end NVM pages to local DRAM copies. Three replacement
+    policies are provided:
+    - [Lru]: exact least-recently-used (doubly linked recency list);
+    - [Rr]: random replacement;
+    - [Hybrid]: the paper's policy — sample a random {e choose set} and
+      evict the least recently used page of the sample. It approaches LRU's
+      miss ratio at RR's bookkeeping cost.
+
+    Dirty data never needs writing back: writes travel through the memory
+    log, the cache only ever holds a coherent copy (the front-end patches
+    cached pages as it appends memory logs). *)
+
+type policy = Lru | Rr | Hybrid
+
+val policy_name : policy -> string
+
+type t
+
+val create :
+  ?choose_set:int -> policy:policy -> page_size:int -> capacity_bytes:int -> Asym_util.Rng.t -> t
+
+val page_size : t -> int
+val capacity_pages : t -> int
+val length : t -> int
+
+val find : t -> int -> bytes option
+(** [find t page_id] returns the cached page and refreshes its recency. *)
+
+val insert : t -> int -> bytes -> unit
+(** Insert a page, evicting per policy if full. *)
+
+val patch : t -> addr:Types.addr -> bytes -> unit
+(** Overwrite the cached bytes covering [addr], where present. *)
+
+val clear : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+(** {!find} successes/failures since creation (or {!reset_stats}). *)
+
+val reset_stats : t -> unit

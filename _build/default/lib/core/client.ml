@@ -1,0 +1,718 @@
+open Asym_sim
+open Asym_rdma
+
+type config = {
+  mode : [ `Direct | `Logged ];
+  use_cache : bool;
+  cache_bytes : int;
+  cache_policy : Cache.policy;
+  choose_set : int;
+  page_size : int;
+  batch_size : int;
+  oplog_signaled : bool;
+  flush_on_unlock : bool;
+  pointer_wire_opt : bool;
+}
+
+(* Managing an exact-LRU recency structure costs real instructions on
+   every access — the reason the paper's hybrid policy exists (§4.4). *)
+let lru_touch_ns = 60
+
+let base_config =
+  {
+    mode = `Logged;
+    use_cache = false;
+    cache_bytes = 0;
+    cache_policy = Cache.Hybrid;
+    choose_set = 32;
+    page_size = 256;
+    batch_size = 1;
+    oplog_signaled = true;
+    flush_on_unlock = false;
+    pointer_wire_opt = true;
+  }
+
+let naive () = { base_config with mode = `Direct }
+let r () = base_config
+let rc ?(cache_bytes = 4 * 1024 * 1024) () = { base_config with use_cache = true; cache_bytes }
+
+let rcb ?(cache_bytes = 4 * 1024 * 1024) ?(batch_size = 1024) () =
+  { base_config with use_cache = true; cache_bytes; batch_size }
+
+let config_name c =
+  match (c.mode, c.use_cache, c.batch_size > 1) with
+  | `Direct, _, _ -> "Naive"
+  | `Logged, false, false -> "R"
+  | `Logged, true, false -> "RC"
+  | `Logged, true, true -> "RCB"
+  | `Logged, false, true -> "RB"
+
+let use_op_log c = c.mode = `Logged && c.batch_size > 1
+
+(* How many unsignaled op-log posts between synchronizing round trips. *)
+let unsignaled_sync_period = 32
+
+type t = {
+  cname : string;
+  cfg : config;
+  mutable bk : Backend.t;
+  mutable conn : Verbs.conn;
+  clk : Clock.t;
+  lat : Latency.t;
+  mutable sid : Types.session_id;
+  cache : Cache.t option;
+  overlay : Overlay.t;
+  mutable pending : (Types.ds_id * Log.Mem_entry.t) list;  (* newest first *)
+  mutable pending_entries : int;
+  mutable pending_bytes : int;
+  mutable pending_op_list : (Types.ds_id * (int64 * int * bytes)) list;  (* newest first *)
+  pending_cas : (Types.addr, int64 * int64) Hashtbl.t;  (* addr -> (expected, desired) *)
+  mutable pending_slab_frees : (Types.addr * int) list;  (* deferred reclamation *)
+  mutable ops_since_flush : int;
+  mutable memlog_head : int;
+  mutable oplog_head : int;
+  mutable next_opnum : int64;
+  mutable cur_op : int64 option;
+  mutable unsignaled_posts : int;
+  mutable falloc : Front_alloc.t;
+  handles : (string, Types.handle) Hashtbl.t;
+  section_started : (Types.ds_id, Simtime.t) Hashtbl.t;  (* per-ds previous section start *)
+  mutable crashed : bool;
+  mutable n_flushes : int;
+  mutable n_ops : int;
+  mutable n_retries : int;
+}
+
+let clock t = t.clk
+let backend t = t.bk
+let session t = t.sid
+let config t = t.cfg
+let name t = t.cname
+let is_crashed t = t.crashed
+let flushes t = t.n_flushes
+let ops_executed t = t.n_ops
+let read_retries t = t.n_retries
+let rdma_ops t = Verbs.ops_posted t.conn
+let allocator t = t.falloc
+let batch_size t = t.cfg.batch_size
+
+let cache_stats t =
+  match t.cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
+
+let invalidate_cache t = match t.cache with Some c -> Cache.clear c | None -> ()
+
+let check_live t = if t.crashed then failwith (t.cname ^ ": client is crashed")
+
+(* -- RPC ------------------------------------------------------------------ *)
+
+let rpc t req = Backend.rpc t.bk ~conn:t.conn ~session:(Some t.sid) req
+
+let rpc_addr t req =
+  match rpc t req with
+  | Rpc_msg.R_addr a -> a
+  | Rpc_msg.R_error "out of NVM slabs" -> raise Front_alloc.Out_of_nvm
+  | other -> Fmt.failwith "%s: unexpected RPC response %a" t.cname Rpc_msg.pp_response other
+
+(* Returning a slab to the back-end flips its persistent bitmap bit
+   immediately — it is not covered by the memory-log transaction. A slab
+   release triggered by a not-yet-covered operation must therefore wait
+   for the next [rnvm_tx_write]: otherwise a crash loses the unlink writes
+   while the slab is durably free, and the replayed operations can be
+   handed a slab that still holds live nodes. In direct (naive) mode every
+   write is already durable, so frees go out immediately. *)
+let release_slabs t addr slabs =
+  match t.cfg.mode with
+  | `Logged -> t.pending_slab_frees <- (addr, slabs) :: t.pending_slab_frees
+  | `Direct -> (
+      match rpc t (Rpc_msg.Free { addr; slabs }) with
+      | Rpc_msg.R_unit -> ()
+      | other -> Fmt.failwith "%s: unexpected RPC response %a" t.cname Rpc_msg.pp_response other)
+
+let send_deferred_frees t =
+  if t.pending_slab_frees <> [] then begin
+    let singles, runs = List.partition (fun (_, n) -> n = 1) t.pending_slab_frees in
+    t.pending_slab_frees <- [];
+    if singles <> [] then begin
+      match rpc t (Rpc_msg.Free_batch { addrs = List.map fst singles }) with
+      | Rpc_msg.R_unit -> ()
+      | other -> Fmt.failwith "%s: unexpected RPC response %a" t.cname Rpc_msg.pp_response other
+    end;
+    List.iter
+      (fun (addr, slabs) ->
+        match rpc t (Rpc_msg.Free { addr; slabs }) with
+        | Rpc_msg.R_unit -> ()
+        | other ->
+            Fmt.failwith "%s: unexpected RPC response %a" t.cname Rpc_msg.pp_response other)
+      runs
+  end
+
+let make_falloc t =
+  let layout = Backend.layout t.bk in
+  let slab_size = layout.Layout.slab_size in
+  let data_base = layout.Layout.data_base in
+  Front_alloc.create
+    {
+      Front_alloc.slab_size;
+      alloc_slabs = (fun n -> rpc_addr t (Rpc_msg.Malloc { slabs = n }));
+      free_slabs = (fun addr slabs -> release_slabs t addr slabs);
+      free_slab_batch = (fun addrs -> List.iter (fun a -> release_slabs t a 1) addrs);
+      slab_base_of =
+        (fun addr -> data_base + ((addr - data_base) / slab_size * slab_size));
+    }
+
+let connect ?(name = "frontend") ?rng cfg bk ~clock =
+  let rng =
+    match rng with Some r -> r | None -> Asym_util.Rng.create ~seed:(Int64.of_int 777)
+  in
+  let lat = Backend.latency bk in
+  let conn =
+    Verbs.connect ~client:clock ~remote_nic:(Backend.nic bk) ~remote_mem:(Backend.device bk) lat
+  in
+  let cache =
+    if cfg.use_cache then
+      Some
+        (Cache.create ~choose_set:cfg.choose_set ~policy:cfg.cache_policy
+           ~page_size:cfg.page_size ~capacity_bytes:cfg.cache_bytes rng)
+    else None
+  in
+  let t =
+    {
+      cname = name;
+      cfg;
+      bk;
+      conn;
+      clk = clock;
+      lat;
+      sid = -1;
+      cache;
+      overlay = Overlay.create ();
+      pending = [];
+      pending_entries = 0;
+      pending_bytes = 0;
+      pending_op_list = [];
+      pending_cas = Hashtbl.create 4;
+      pending_slab_frees = [];
+      ops_since_flush = 0;
+      memlog_head = 0;
+      oplog_head = 0;
+      (* opnum 0 is reserved: opn_covered = 0 means "nothing covered". *)
+      next_opnum = 1L;
+      cur_op = None;
+      unsignaled_posts = 0;
+      falloc = Front_alloc.create
+          {
+            Front_alloc.slab_size = 1;
+            alloc_slabs = (fun _ -> assert false);
+            free_slabs = (fun _ _ -> assert false);
+            free_slab_batch = (fun _ -> assert false);
+            slab_base_of = (fun a -> a);
+          };
+      handles = Hashtbl.create 8;
+      section_started = Hashtbl.create 8;
+      crashed = false;
+      n_flushes = 0;
+      n_ops = 0;
+      n_retries = 0;
+    }
+  in
+  (match Backend.rpc bk ~conn ~session:None (Rpc_msg.Open_session { client_name = name; reuse = None }) with
+  | Rpc_msg.R_session sid -> t.sid <- sid
+  | other -> Fmt.failwith "%s: open_session failed: %a" name Rpc_msg.pp_response other);
+  t.falloc <- make_falloc t;
+  t
+
+(* -- naming ---------------------------------------------------------------- *)
+
+let register_ds t ds_name =
+  check_live t;
+  match Hashtbl.find_opt t.handles ds_name with
+  | Some h -> h
+  | None -> (
+      match rpc t (Rpc_msg.Register_ds { name = ds_name }) with
+      | Rpc_msg.R_handle { ds; root; lock; sn } ->
+          let h = { Types.id = ds; root; lock; sn; ds_name } in
+          Hashtbl.replace t.handles ds_name h;
+          h
+      | other ->
+          Fmt.failwith "%s: register_ds failed: %a" t.cname Rpc_msg.pp_response other)
+
+let lookup_ds t ds_name =
+  check_live t;
+  match Hashtbl.find_opt t.handles ds_name with
+  | Some h -> Some h
+  | None -> (
+      match rpc t (Rpc_msg.Name_get { name = ds_name ^ "!ds" }) with
+      | Rpc_msg.R_name None -> None
+      | Rpc_msg.R_name (Some _) -> Some (register_ds t ds_name)
+      | other -> Fmt.failwith "%s: lookup_ds failed: %a" t.cname Rpc_msg.pp_response other)
+
+(* -- reads ----------------------------------------------------------------- *)
+
+let read_via_cache t c ~addr ~len =
+  let page = Cache.page_size c in
+  let out = Bytes.create len in
+  let first = addr / page in
+  let last = (addr + len - 1) / page in
+  for id = first to last do
+    let page_base = id * page in
+    let data =
+      match Cache.find c id with
+      | Some b ->
+          Clock.advance t.clk
+            (t.lat.Latency.dram_ns
+            + if t.cfg.cache_policy = Cache.Lru then lru_touch_ns else 0);
+          b
+      | None ->
+          let cap = Asym_nvm.Device.capacity (Backend.device t.bk) in
+          let plen = min page (cap - page_base) in
+          let b = Verbs.read t.conn ~addr:page_base ~len:plen in
+          (* The overlay also patches the inserted page so the cache never
+             goes backwards w.r.t. our own pending writes. *)
+          Overlay.patch t.overlay ~addr:page_base b;
+          Cache.insert c id b;
+          b
+    in
+    let lo = max addr page_base in
+    let hi = min (addr + len) (page_base + Bytes.length data) in
+    if hi > lo then Bytes.blit data (lo - page_base) out (lo - addr) (hi - lo)
+  done;
+  out
+
+(* A stale cached pointer can produce wild addresses/lengths during an
+   optimistic traversal; reject them before allocating buffers. The
+   resulting Invalid_argument aborts the read section, which retries. *)
+let sane_read_limit = 16 * 1024 * 1024
+
+let read ?(hint = `Hot) t ~addr ~len =
+  check_live t;
+  if len < 0 || len > sane_read_limit || addr < 0 then
+    invalid_arg (Printf.sprintf "%s: unreasonable read (addr=%d len=%d)" t.cname addr len);
+  match Overlay.try_read t.overlay ~addr ~len with
+  | Some b ->
+      Clock.advance t.clk t.lat.Latency.dram_ns;
+      b
+  | None ->
+      let b =
+        match t.cache with
+        | Some c when hint = `Hot -> read_via_cache t c ~addr ~len
+        | _ -> Verbs.read t.conn ~addr ~len
+      in
+      Overlay.patch t.overlay ~addr b;
+      b
+
+let read_u64 t ?hint addr =
+  let b = read ?hint t ~addr ~len:8 in
+  Bytes.get_int64_le b 0
+
+(* -- operation log ---------------------------------------------------------- *)
+
+let oplog_append ?(signaled = None) t raw =
+  let signaled = match signaled with Some s -> s | None -> t.cfg.oplog_signaled in
+  let ring_base, cap = Backend.oplog_ring t.bk ~session:t.sid in
+  let len = Bytes.length raw in
+  if t.oplog_head + len > cap then begin
+    (* Wrap: drop a marker and continue at the ring base. *)
+    Verbs.write t.conn ~addr:(ring_base + t.oplog_head) Log.Op_entry.wrap_marker;
+    t.oplog_head <- 0
+  end;
+  let offset = t.oplog_head in
+  (if signaled then Verbs.write t.conn ~addr:(ring_base + offset) raw
+   else begin
+     Verbs.write_unsignaled t.conn ~addr:(ring_base + offset) raw;
+     t.unsignaled_posts <- t.unsignaled_posts + 1;
+     if t.unsignaled_posts >= unsignaled_sync_period then begin
+       (* Synchronize: wait for one full round trip to collect completions. *)
+       Clock.advance t.clk t.lat.Latency.rdma_rtt_ns;
+       t.unsignaled_posts <- 0
+     end
+   end);
+  t.oplog_head <- offset + len;
+  Backend.note_heads t.bk ~session:t.sid ~oplog_head:t.oplog_head ();
+  Backend.replicate_raw t.bk ~at:(Clock.now t.clk) ~addr:(ring_base + offset) raw;
+  offset
+
+let op_begin t ~ds ~optype ~params =
+  check_live t;
+  let opnum = t.next_opnum in
+  t.next_opnum <- Int64.add opnum 1L;
+  if use_op_log t.cfg then begin
+    let raw = Log.Op_entry.encode { Log.Op_entry.ds; opnum; optype; params } in
+    let offset = oplog_append t raw in
+    Backend.note_op_offset t.bk ~session:t.sid ~opnum ~offset;
+    Backend.note_heads t.bk ~session:t.sid ~next_opnum:t.next_opnum ();
+    t.pending_op_list <- (ds, (opnum, optype, params)) :: t.pending_op_list
+  end;
+  t.cur_op <- Some opnum;
+  opnum
+
+let pending_ops t ~ds =
+  List.rev
+    (List.filter_map (fun (d, op) -> if d = ds then Some op else None) t.pending_op_list)
+
+(* -- writes ----------------------------------------------------------------- *)
+
+let write t ~ds ~addr value =
+  check_live t;
+  match t.cfg.mode with
+  | `Direct ->
+      Verbs.write t.conn ~addr value;
+      (match t.cache with Some c -> Cache.patch c ~addr value | None -> ())
+  | `Logged ->
+      let from_op =
+        match t.cur_op with
+        | Some op
+          when use_op_log t.cfg && t.cfg.pointer_wire_opt && Bytes.length value > 12 ->
+            Some op
+        | _ -> None
+      in
+      t.pending <- (ds, Log.Mem_entry.make ?from_op ~addr value) :: t.pending;
+      t.pending_entries <- t.pending_entries + 1;
+      t.pending_bytes <- t.pending_bytes + Bytes.length value + 13;
+      Overlay.add t.overlay ~addr value;
+      (match t.cache with Some c -> Cache.patch c ~addr value | None -> ());
+      Clock.advance t.clk t.lat.Latency.dram_ns
+
+let write_u64 t ~ds addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t ~ds ~addr b
+
+(* In logged mode a root switch (§6.2) may not become remotely visible
+   before the memory logs of the version it publishes are durable, so the
+   CAS is deferred to the next [rnvm_tx_write] (one root swap per batch —
+   which is also what makes multi-version batching pay off, Figure 6a).
+   The overlay serves the writer's own root reads in the meantime. *)
+let cas_u64 t ~ds addr ~expected ~desired =
+  check_live t;
+  ignore ds;
+  match t.cfg.mode with
+  | `Direct ->
+      let old = Verbs.compare_and_swap t.conn ~addr ~expected ~desired in
+      if old = expected then begin
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 desired;
+        Backend.replicate_raw t.bk ~at:(Clock.now t.clk) ~addr b
+      end;
+      old
+  | `Logged ->
+      let current =
+        match Overlay.try_read t.overlay ~addr ~len:8 with
+        | Some b -> Bytes.get_int64_le b 0
+        | None -> Bytes.get_int64_le (Verbs.read t.conn ~addr ~len:8) 0
+      in
+      if current <> expected then current
+      else begin
+        (match Hashtbl.find_opt t.pending_cas addr with
+        | Some (first_expected, _) -> Hashtbl.replace t.pending_cas addr (first_expected, desired)
+        | None -> Hashtbl.replace t.pending_cas addr (expected, desired));
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 desired;
+        Overlay.add t.overlay ~addr b;
+        (match t.cache with Some c -> Cache.patch c ~addr b | None -> ());
+        Clock.advance t.clk t.lat.Latency.dram_ns;
+        expected
+      end
+
+(* -- transactional flush ------------------------------------------------------ *)
+
+let run_pending_cas t =
+  if Hashtbl.length t.pending_cas > 0 then begin
+    let swaps = Hashtbl.fold (fun addr (e, d) acc -> (addr, e, d) :: acc) t.pending_cas [] in
+    Hashtbl.reset t.pending_cas;
+    List.iter
+      (fun (addr, expected, desired) ->
+        let old = Verbs.compare_and_swap t.conn ~addr ~expected ~desired in
+        if old <> expected then
+          Fmt.failwith "%s: deferred root CAS lost a race (second writer on an MV structure?)"
+            t.cname;
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 desired;
+        Backend.replicate_raw t.bk ~at:(Clock.now t.clk) ~addr b)
+      swaps
+  end
+
+let flush t =
+  check_live t;
+  if t.pending <> [] || t.pending_op_list <> [] || Hashtbl.length t.pending_cas > 0 then begin
+    (* One transaction record per consecutive run of same-structure
+       entries. Runs — rather than one group per structure — keep the
+       global write order intact: a block freed by one structure and
+       reallocated by another within the same batch is rewritten in
+       chronological order during replay. *)
+    let op_hi = Int64.pred t.next_opnum in
+    let txs =
+      let runs =
+        List.fold_left
+          (fun acc (ds, entry) ->
+            match acc with
+            | (run_ds, entries) :: rest when run_ds = ds ->
+                (run_ds, entry :: entries) :: rest
+            | _ -> (ds, [ entry ]) :: acc)
+          []
+          (List.rev t.pending)
+      in
+      match runs with
+      | [] ->
+          (* No memory logs buffered (e.g. a batch fully annulled by the
+             §8.1 optimization): still commit an empty transaction so the
+             OPN advances past the covered operations. *)
+          [ { Log.Tx.ds = 0; op_hi; entries = [] } ]
+      | runs ->
+          List.rev_map
+            (fun (ds, entries) -> { Log.Tx.ds; op_hi; entries = List.rev entries })
+            runs
+    in
+    let encoded = List.map Log.Tx.encode txs in
+    let total = List.fold_left (fun acc b -> acc + Bytes.length b) 0 encoded in
+    let wire = List.fold_left (fun acc tx -> acc + Log.Tx.wire_size tx) 0 txs in
+    let payload = Bytes.create total in
+    let _ =
+      List.fold_left
+        (fun off b ->
+          Bytes.blit b 0 payload off (Bytes.length b);
+          off + Bytes.length b)
+        0 encoded
+    in
+    let ring_base, cap = Backend.memlog_ring t.bk ~session:t.sid in
+    if total + 1 > cap then failwith (t.cname ^ ": transaction exceeds memory-log ring");
+    if t.memlog_head + total + 1 > cap then begin
+      Verbs.write t.conn ~addr:(ring_base + t.memlog_head) Log.Tx.wrap_marker;
+      t.memlog_head <- 0
+    end;
+    Verbs.write ~wire_len:wire t.conn ~addr:(ring_base + t.memlog_head) payload;
+    t.memlog_head <- t.memlog_head + total;
+    Backend.note_heads t.bk ~session:t.sid ~memlog_head:t.memlog_head
+      ~next_opnum:t.next_opnum ();
+    Backend.drain_session t.bk ~session:t.sid ~arrival:(Clock.now t.clk);
+    (* Root switches become visible only now that their version's memory
+       logs are replayed. *)
+    run_pending_cas t;
+    (* Slab reclamation triggered by the now-covered operations is safe. *)
+    send_deferred_frees t;
+    t.pending <- [];
+    t.pending_entries <- 0;
+    t.pending_bytes <- 0;
+    t.pending_op_list <- [];
+    t.n_flushes <- t.n_flushes + 1
+  end;
+  Overlay.clear t.overlay;
+  t.ops_since_flush <- 0
+
+(* §4.1: a read after a persistent fence must observe all data the fence
+   ordered before it; the fence completes when the buffered memory logs
+   are persisted AND the back-end has replayed everything up to them (the
+   read-after-fence then sees the data area up to date). In this
+   implementation the flush already drains synchronously, so the fence is
+   the flush plus waiting out any replay still queued on the back-end
+   CPU. *)
+let persist_fence t =
+  flush t;
+  Clock.wait_until t.clk (Timeline.free_at (Backend.cpu t.bk))
+
+let op_end t ~ds =
+  ignore ds;
+  check_live t;
+  Clock.advance t.clk t.lat.Latency.cpu_op_ns;
+  t.cur_op <- None;
+  t.n_ops <- t.n_ops + 1;
+  t.ops_since_flush <- t.ops_since_flush + 1;
+  match t.cfg.mode with
+  | `Direct -> ()
+  | `Logged ->
+      let _, ring_cap = Backend.memlog_ring t.bk ~session:t.sid in
+      (* Flush at the batch boundary, or early when the local buffer fills
+         (the [is_fulled ()] condition of the paper's Figure 2). *)
+      if t.ops_since_flush >= t.cfg.batch_size || t.pending_bytes >= ring_cap / 4 then flush t
+
+(* -- allocator -------------------------------------------------------------- *)
+
+let malloc t size =
+  check_live t;
+  Clock.advance t.clk t.lat.Latency.dram_ns;
+  Front_alloc.alloc t.falloc size
+
+let free t addr ~len =
+  check_live t;
+  Clock.advance t.clk t.lat.Latency.dram_ns;
+  Front_alloc.free t.falloc addr ~len
+
+(* -- locks (§6.1) ------------------------------------------------------------- *)
+
+let lock_record t ~acquire lock_addr =
+  (* The lock-ahead log: a small durable record naming the lock. *)
+  let params = Bytes.create 8 in
+  Bytes.set_int64_le params 0 (Int64.of_int lock_addr);
+  let opnum = t.next_opnum in
+  t.next_opnum <- Int64.add opnum 1L;
+  let optype = if acquire then 254 else 253 in
+  let raw = Log.Op_entry.encode { Log.Op_entry.ds = 0; opnum; optype; params } in
+  (* Lock-ahead records only need to be ordered before the memory logs
+     they guard, not to block the writer: post them unsignaled. *)
+  let offset = oplog_append ~signaled:(Some false) t raw in
+  Backend.note_op_offset t.bk ~session:t.sid ~opnum ~offset;
+  Backend.note_heads t.bk ~session:t.sid ~next_opnum:t.next_opnum ()
+
+let writer_lock t (h : Types.handle) =
+  check_live t;
+  lock_record t ~acquire:true h.Types.lock;
+  let tl = Backend.lock_timeline t.bk h.Types.lock in
+  (* First CAS attempt. *)
+  Clock.advance t.clk t.lat.Latency.rdma_atomic_ns;
+  let start = Timeline.hold tl ~at:(Clock.now t.clk) in
+  if start > Clock.now t.clk then begin
+    (* Contended: spin until the holder releases, then win a final CAS. *)
+    Clock.wait_until t.clk start;
+    Clock.advance t.clk t.lat.Latency.rdma_atomic_ns
+  end;
+  Asym_nvm.Device.write_u64 (Backend.device t.bk) ~addr:h.Types.lock 1L
+
+let writer_unlock t (h : Types.handle) =
+  check_live t;
+  if t.cfg.flush_on_unlock then flush t;
+  let b = Bytes.make 8 '\000' in
+  (* The release write needs ordering, not an ack. *)
+  Verbs.write_unsignaled t.conn ~addr:h.Types.lock b;
+  Timeline.release (Backend.lock_timeline t.bk h.Types.lock) ~at:(Clock.now t.clk);
+  lock_record t ~acquire:false h.Types.lock
+
+(* -- optimistic read sections (§6.3, Algorithm 2) ------------------------------ *)
+
+let max_read_retries = 64
+
+(* Optimistic read section (Algorithm 2). The section runs against the
+   front-end cache; validation compares the per-structure sequence number
+   (here: the conflict-window tracker) around the section. A failed
+   validation — or a traversal that tripped over bytes a concurrent writer
+   reclaimed — drops the cached pages and retries against fresh remote
+   state. Pages cached across sections may thus serve a slightly stale but
+   structurally consistent version between writer transactions, which is
+   the same freshness contract the multi-version readers get (§6.2). *)
+let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
+  check_live t;
+  let ds = h.Types.id in
+  (* The co-simulation executes each client step atomically, so a writer
+     behind this reader in virtual time records its log-application window
+     retroactively — inside a section this reader already validated. The
+     first attempt therefore validates the whole span since the previous
+     section started, catching each retroactive window exactly once; the
+     retry rate then matches what a truly interleaved execution of
+     Algorithm 2 would observe. *)
+  let rec attempt n =
+    (* Reader_Lock: fetch the sequence number. *)
+    let _sn_begin = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
+    let started = Clock.now t.clk in
+    let check_from =
+      if n > 0 then started
+      else
+        match Hashtbl.find_opt t.section_started ds with
+        | Some prev -> min prev started
+        | None -> started
+    in
+    let outcome = try `Ok (f ()) with Invalid_argument _ | Failure _ -> `Torn_traversal in
+    (* Reader_Unlock: re-fetch and compare. *)
+    let _sn_end = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
+    let conflicted =
+      match outcome with
+      | `Torn_traversal -> true
+      | `Ok _ -> (
+          match retry_on with
+          | `Torn -> false
+          | `Conflict ->
+              Backend.conflict_overlaps t.bk ~ds ~start_:check_from ~stop:(Clock.now t.clk))
+    in
+    if conflicted && n < max_read_retries then begin
+      t.n_retries <- t.n_retries + 1;
+      (match t.cache with Some c -> Cache.clear c | None -> ());
+      attempt (n + 1)
+    end
+    else begin
+      Hashtbl.replace t.section_started ds started;
+      match outcome with
+      | `Ok v -> v
+      | `Torn_traversal -> failwith (t.cname ^ ": read section kept tearing")
+    end
+  in
+  attempt 0
+
+(* -- session lifecycle ------------------------------------------------------ *)
+
+let close t =
+  check_live t;
+  flush t;
+  (match rpc t Rpc_msg.Close_session with
+  | Rpc_msg.R_unit -> ()
+  | other -> Fmt.failwith "%s: close_session failed: %a" t.cname Rpc_msg.pp_response other);
+  (* The crashed flag doubles as a use-after-close guard. *)
+  t.crashed <- true
+
+(* -- failure handling ----------------------------------------------------------- *)
+
+let drop_volatile t =
+  (match t.cache with Some c -> Cache.clear c | None -> ());
+  Overlay.clear t.overlay;
+  t.pending <- [];
+  t.pending_entries <- 0;
+  t.pending_bytes <- 0;
+  t.pending_op_list <- [];
+  Hashtbl.reset t.pending_cas;
+  (* Dropped frees leak their slabs — the same bounded, safe leak as the
+     block-level allocator state (§5.2). *)
+  t.pending_slab_frees <- [];
+  t.ops_since_flush <- 0;
+  t.cur_op <- None;
+  t.unsignaled_posts <- 0
+
+let crash t =
+  drop_volatile t;
+  Hashtbl.reset t.handles;
+  Hashtbl.reset t.section_started;
+  t.crashed <- true
+
+let abort_tx t = drop_volatile t
+
+let resync_cursors t =
+  match rpc t Rpc_msg.Get_cursors with
+  | Rpc_msg.R_cursors { memlog_head; oplog_head; opn_covered = _; next_opnum } ->
+      t.memlog_head <- memlog_head;
+      t.oplog_head <- oplog_head;
+      t.next_opnum <- next_opnum
+  | other -> Fmt.failwith "%s: get_cursors failed: %a" t.cname Rpc_msg.pp_response other
+
+let recover t =
+  t.crashed <- false;
+  (match
+     Backend.rpc t.bk ~conn:t.conn ~session:None
+       (Rpc_msg.Open_session { client_name = t.cname; reuse = Some t.sid })
+   with
+  | Rpc_msg.R_session sid -> t.sid <- sid
+  | other -> Fmt.failwith "%s: session reopen failed: %a" t.cname Rpc_msg.pp_response other);
+  resync_cursors t;
+  t.falloc <- make_falloc t;
+  (* Release locks our previous incarnation still held (lock-ahead log),
+     and log the release so later scans see the lock balanced. *)
+  List.iter
+    (fun lock_addr ->
+      Backend.force_release_lock t.bk lock_addr ~at:(Clock.now t.clk);
+      lock_record t ~acquire:false lock_addr)
+    (Backend.abandoned_locks t.bk ~session:t.sid);
+  let ops = Backend.unreplayed_ops t.bk ~session:t.sid in
+  (* Reading the op-log tail back costs one round trip plus payload. *)
+  let bytes = List.fold_left (fun acc o -> acc + Bytes.length o.Log.Op_entry.params + 22) 0 ops in
+  Clock.advance t.clk (t.lat.Latency.rdma_rtt_ns + Latency.rdma_payload_ns t.lat bytes);
+  ops
+
+let reconnect_after_backend_restart t =
+  drop_volatile t;
+  Verbs.set_failed t.conn false;
+  resync_cursors t
+
+let switch_backend t bk =
+  drop_volatile t;
+  t.bk <- bk;
+  t.conn <-
+    Verbs.connect ~client:t.clk ~remote_nic:(Backend.nic bk) ~remote_mem:(Backend.device bk)
+      t.lat;
+  t.falloc <- make_falloc t;
+  Hashtbl.reset t.handles;
+  Hashtbl.reset t.section_started;
+  resync_cursors t

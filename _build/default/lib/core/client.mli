@@ -1,0 +1,100 @@
+(** The AsymNVM front-end library (implements {!Store.S}).
+
+    A client owns a connection to one back-end and provides the Table 1
+    API: cached/direct reads, memory-log writes, operation logs,
+    transactional flushes, the two-tier allocator, locks, and crash
+    recovery. Its configuration selects the paper's ablation points:
+
+    - [naive]   — AsymNVM-Naive: direct RDMA for every access
+    - [r]       — AsymNVM-R: log reproducing (decoupled persistency)
+    - [rc]      — AsymNVM-RC: + front-end DRAM cache
+    - [rcb]     — AsymNVM-RCB: + operation log and batching *)
+
+type config = {
+  mode : [ `Direct | `Logged ];
+      (** [`Direct]: every write is an in-place RDMA write (naive).
+          [`Logged]: writes become memory logs replayed by the back-end. *)
+  use_cache : bool;
+  cache_bytes : int;
+  cache_policy : Cache.policy;
+  choose_set : int;
+  page_size : int;
+  batch_size : int;
+      (** operations per [rnvm_tx_write]; > 1 enables the operation log *)
+  oplog_signaled : bool;
+      (** when [false], operation-log appends are posted unsignaled and
+          synchronized periodically — the stack/queue fast path *)
+  flush_on_unlock : bool;
+      (** force a flush before releasing the writer lock, required when
+          several front-ends write the same structure *)
+  pointer_wire_opt : bool;
+      (** §4.3: replace a memory-log value already durable in the op log
+          with a 12-byte pointer on the wire (ablation toggle) *)
+}
+
+val naive : unit -> config
+val r : unit -> config
+val rc : ?cache_bytes:int -> unit -> config
+val rcb : ?cache_bytes:int -> ?batch_size:int -> unit -> config
+
+val config_name : config -> string
+
+type t
+
+val connect :
+  ?name:string -> ?rng:Asym_util.Rng.t -> config -> Backend.t -> clock:Asym_sim.Clock.t -> t
+(** Open a session on the back-end. *)
+
+val reconnect_after_backend_restart : t -> unit
+(** Re-arm the connection after the back-end came back ({!Backend.restart})
+    or after mirror promotion — clears the cache and aborts any buffered
+    transaction (§4.3: "the front-end node handles exceptions, aborts the
+    transaction and clears the cache"). *)
+
+val switch_backend : t -> Backend.t -> unit
+(** Point this client at a promoted mirror (Case 4). Volatile state is
+    dropped; the session id is preserved (sessions live in the replicated
+    media image). *)
+
+include Store.S with type t := t
+
+val persist_fence : t -> unit
+(** §4.1 persistency fence: when it returns, every preceding write is
+    durable {e and} applied to the back-end data area, so any later read —
+    by anyone — observes it. (A plain [flush] already guarantees
+    durability; the fence additionally waits out queued replay.) *)
+
+val backend : t -> Backend.t
+val session : t -> Types.session_id
+val config : t -> config
+val name : t -> string
+
+val close : t -> unit
+(** Flush, then release the session: its slot and log rings become
+    available to another front-end. The client must not be used after
+    (uses raise [Failure]). *)
+
+(** {2 Failure handling (§7.2)} *)
+
+val crash : t -> unit
+(** Drop all volatile state: cache, overlay, buffered memory logs,
+    allocator block lists, unflushed operation bookkeeping. *)
+
+val is_crashed : t -> bool
+
+val recover : t -> Log.Op_entry.t list
+(** Case 1/2 front-end recovery: reopen the session, fetch the LPN/OPN
+    cursors, release locks the crashed incarnation still held, and return
+    the operations whose memory logs never became durable — the caller
+    (data-structure layer) re-executes them. *)
+
+val abort_tx : t -> unit
+(** Case 3 client side: throw away buffered logs and cached pages after a
+    back-end failure was detected mid-operation. *)
+
+(** {2 Statistics} *)
+
+val rdma_ops : t -> int
+val flushes : t -> int
+val ops_executed : t -> int
+val allocator : t -> Front_alloc.t

@@ -1,0 +1,143 @@
+open Asym_util
+
+(* Framing bytes. A zeroed ring byte (0x00) means "nothing written here",
+   so every real frame starts with a distinctive tag. *)
+let tag_tx = 0xB5
+let tag_op = 0xA7
+let tag_wrap = 0xFF
+let tag_commit = 0xC3
+let flag_inline = 0x01
+let flag_op_pointer = 0x02
+
+module Mem_entry = struct
+  type t = { addr : Types.addr; value : bytes; from_op : int64 option }
+
+  let make ?from_op ~addr value = { addr; value; from_op }
+end
+
+module Tx = struct
+  type t = { ds : Types.ds_id; op_hi : int64; entries : Mem_entry.t list }
+
+  let encode t =
+    let e = Codec.Enc.create ~capacity:256 () in
+    Codec.Enc.u8 e tag_tx;
+    Codec.Enc.u32i e t.ds;
+    Codec.Enc.u64 e t.op_hi;
+    Codec.Enc.u32i e (List.length t.entries);
+    List.iter
+      (fun { Mem_entry.addr; value; from_op } ->
+        let flag = match from_op with Some _ -> flag_op_pointer | None -> flag_inline in
+        Codec.Enc.u8 e flag;
+        Codec.Enc.u64i e addr;
+        Codec.Enc.u32i e (Bytes.length value);
+        Codec.Enc.bytes e value)
+      t.entries;
+    Codec.Enc.u8 e tag_commit;
+    let body = Codec.Enc.to_bytes e in
+    let crc = Crc32.digest_bytes body in
+    let e2 = Codec.Enc.create ~capacity:(Bytes.length body + 4) () in
+    Codec.Enc.bytes e2 body;
+    Codec.Enc.u32 e2 crc;
+    Codec.Enc.to_bytes e2
+
+  (* Header (1+4+8+4) + per entry (1+8+4 + payload) + commit (1) + crc (4).
+     An entry whose value is already durable in the operation log ships a
+     12-byte pointer (op number + offset) instead of the value. *)
+  let wire_size t =
+    let entry_payload { Mem_entry.value; from_op; _ } =
+      match from_op with
+      | Some _ -> min 12 (Bytes.length value)
+      | None -> Bytes.length value
+    in
+    17
+    + List.fold_left (fun acc en -> acc + 13 + entry_payload en) 0 t.entries
+    + 5
+
+  type scan_result = Record of t * int | Torn | Wrap | Empty
+
+  let scan buf ~pos =
+    if pos >= Bytes.length buf then Empty
+    else
+      match Bytes.get_uint8 buf pos with
+      | 0x00 -> Empty
+      | b when b = tag_wrap -> Wrap
+      | b when b <> tag_tx -> Torn
+      | _ -> (
+          try
+            let d = Codec.Dec.of_bytes ~pos buf in
+            let _tag = Codec.Dec.u8 d in
+            let ds = Codec.Dec.u32i d in
+            let op_hi = Codec.Dec.u64 d in
+            let n = Codec.Dec.u32i d in
+            if n > 1_000_000 then raise Exit;
+            let entries = ref [] in
+            for _ = 1 to n do
+              let flag = Codec.Dec.u8 d in
+              if flag <> flag_inline && flag <> flag_op_pointer then raise Exit;
+              let addr = Codec.Dec.u64i d in
+              let len = Codec.Dec.u32i d in
+              if len > Bytes.length buf then raise Exit;
+              let value = Codec.Dec.bytes d len in
+              let from_op = if flag = flag_op_pointer then Some 0L else None in
+              entries := { Mem_entry.addr; value; from_op } :: !entries
+            done;
+            if Codec.Dec.u8 d <> tag_commit then raise Exit;
+            let body_len = Codec.Dec.pos d - pos in
+            let crc = Codec.Dec.u32 d in
+            let actual = Crc32.digest buf ~pos ~len:body_len in
+            if crc <> actual then Torn
+            else
+              Record
+                ( { ds; op_hi; entries = List.rev !entries },
+                  Codec.Dec.pos d - pos )
+          with Exit | Invalid_argument _ -> Torn)
+
+  let wrap_marker = Bytes.make 1 (Char.chr tag_wrap)
+end
+
+module Op_entry = struct
+  type t = { ds : Types.ds_id; opnum : int64; optype : int; params : bytes }
+
+  let encode t =
+    let e = Codec.Enc.create ~capacity:64 () in
+    Codec.Enc.u8 e tag_op;
+    Codec.Enc.u32i e t.ds;
+    Codec.Enc.u64 e t.opnum;
+    Codec.Enc.u8 e t.optype;
+    Codec.Enc.u32i e (Bytes.length t.params);
+    Codec.Enc.bytes e t.params;
+    let body = Codec.Enc.to_bytes e in
+    let crc = Crc32.digest_bytes body in
+    let e2 = Codec.Enc.create ~capacity:(Bytes.length body + 4) () in
+    Codec.Enc.bytes e2 body;
+    Codec.Enc.u32 e2 crc;
+    Codec.Enc.to_bytes e2
+
+  type scan_result = Record of t * int | Torn | Wrap | Empty
+
+  let scan buf ~pos =
+    if pos >= Bytes.length buf then Empty
+    else
+      match Bytes.get_uint8 buf pos with
+      | 0x00 -> Empty
+      | b when b = tag_wrap -> Wrap
+      | b when b <> tag_op -> Torn
+      | _ -> (
+          try
+            let d = Codec.Dec.of_bytes ~pos buf in
+            let _tag = Codec.Dec.u8 d in
+            let ds = Codec.Dec.u32i d in
+            let opnum = Codec.Dec.u64 d in
+            let optype = Codec.Dec.u8 d in
+            let len = Codec.Dec.u32i d in
+            if len > Bytes.length buf then raise Exit;
+            let params = Codec.Dec.bytes d len in
+            let body_len = Codec.Dec.pos d - pos in
+            let crc = Codec.Dec.u32 d in
+            let actual = Crc32.digest buf ~pos ~len:body_len in
+            if crc <> actual then Torn
+            else Record ({ ds; opnum; optype; params }, Codec.Dec.pos d - pos)
+          with Exit | Invalid_argument _ -> Torn)
+
+  let wrap_marker = Bytes.make 1 (Char.chr tag_wrap)
+end

@@ -1,0 +1,63 @@
+(** On-media formats of AsymNVM's three log kinds (paper Figure 3).
+
+    - {e Memory log}: low level, one entry per patched byte range
+      ([flag, addr, length, value]); the back-end replays entries into the
+      data area.
+    - {e Transaction log}: a batch of memory-log entries framed by a header,
+      a commit flag and a CRC32, appended to a session's memory-log ring by
+      one [rnvm_tx_write].
+    - {e Operation log}: high level, one entry per data-structure operation
+      ([type, ds, opnum, parameters, checksum]); replayed by the front-end
+      during recovery.
+
+    The header extends Figure 3 with the data-structure id and the highest
+    operation number the transaction covers — both needed by recovery (§7.2)
+    and by the per-structure sequence numbers (§6.3); the paper stores the
+    same facts in its LPN/OPN metadata.
+
+    Values are always encoded inline so that checksums and torn-write
+    detection operate on real bytes. The §4.3 optimization that replaces a
+    value with a pointer into the operation log is accounted in
+    {!Tx.wire_size}, which is what the simulated NIC charges for. *)
+
+module Mem_entry : sig
+  type t = {
+    addr : Types.addr;
+    value : bytes;
+    from_op : int64 option;
+        (** operation-log number that already carries this value; when set,
+            the wire representation is a 12-byte pointer, not the value *)
+  }
+
+  val make : ?from_op:int64 -> addr:Types.addr -> bytes -> t
+end
+
+module Tx : sig
+  type t = { ds : Types.ds_id; op_hi : int64; entries : Mem_entry.t list }
+
+  val encode : t -> bytes
+  val wire_size : t -> int
+  (** Bytes the NIC actually moves, with the op-log pointer optimization. *)
+
+  type scan_result =
+    | Record of t * int  (** a valid record and the bytes it consumed *)
+    | Torn  (** started but fails framing or checksum — a torn write *)
+    | Wrap  (** wrap marker: continue scanning at the ring base *)
+    | Empty  (** zero byte: end of written log *)
+
+  val scan : bytes -> pos:int -> scan_result
+  (** Examine the log ring contents at [pos]. *)
+
+  val wrap_marker : bytes
+end
+
+module Op_entry : sig
+  type t = { ds : Types.ds_id; opnum : int64; optype : int; params : bytes }
+
+  val encode : t -> bytes
+
+  type scan_result = Record of t * int | Torn | Wrap | Empty
+
+  val scan : bytes -> pos:int -> scan_result
+  val wrap_marker : bytes
+end

@@ -1,0 +1,85 @@
+let block_shift = 6
+let block_size = 1 lsl block_shift
+
+type block = { data : bytes; valid : bytes (* 0/1 per byte *) }
+
+type t = { blocks : (int, block) Hashtbl.t; mutable count : int }
+
+let create () = { blocks = Hashtbl.create 64; count = 0 }
+
+let block_for t id =
+  match Hashtbl.find_opt t.blocks id with
+  | Some b -> b
+  | None ->
+      let b = { data = Bytes.create block_size; valid = Bytes.make block_size '\000' } in
+      Hashtbl.replace t.blocks id b;
+      b
+
+let add t ~addr value =
+  let len = Bytes.length value in
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let id = a lsr block_shift in
+    let off = a land (block_size - 1) in
+    let n = min (block_size - off) (len - !i) in
+    let b = block_for t id in
+    Bytes.blit value !i b.data off n;
+    for k = off to off + n - 1 do
+      if Bytes.get b.valid k = '\000' then begin
+        Bytes.set b.valid k '\001';
+        t.count <- t.count + 1
+      end
+    done;
+    i := !i + n
+  done
+
+let patch t ~addr buf =
+  if Hashtbl.length t.blocks > 0 then begin
+    let len = Bytes.length buf in
+    let first = addr lsr block_shift in
+    let last = (addr + len - 1) lsr block_shift in
+    for id = first to last do
+      match Hashtbl.find_opt t.blocks id with
+      | None -> ()
+      | Some b ->
+          let block_base = id lsl block_shift in
+          let lo = max addr block_base in
+          let hi = min (addr + len) (block_base + block_size) in
+          for a = lo to hi - 1 do
+            let off = a - block_base in
+            if Bytes.get b.valid off = '\001' then
+              Bytes.set buf (a - addr) (Bytes.get b.data off)
+          done
+    done
+  end
+
+let try_read t ~addr ~len =
+  if Hashtbl.length t.blocks = 0 then None
+  else begin
+    let out = Bytes.create len in
+    let ok = ref true in
+    let a = ref addr in
+    while !ok && !a < addr + len do
+      let id = !a lsr block_shift in
+      match Hashtbl.find_opt t.blocks id with
+      | None -> ok := false
+      | Some b ->
+          let off = !a land (block_size - 1) in
+          if Bytes.get b.valid off = '\001' then begin
+            Bytes.set out (!a - addr) (Bytes.get b.data off);
+            incr a
+          end
+          else ok := false
+    done;
+    if !ok then Some out else None
+  end
+
+let covers_u64 t addr = match try_read t ~addr ~len:8 with Some _ -> true | None -> false
+
+let clear t =
+  Hashtbl.reset t.blocks;
+  t.count <- 0
+
+let is_empty t = Hashtbl.length t.blocks = 0
+let pending_bytes t = t.count

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Asym_baseline Asym_core Report

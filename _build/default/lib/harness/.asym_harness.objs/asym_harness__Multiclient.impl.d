@@ -1,0 +1,1 @@
+lib/harness/multiclient.ml: Array Asym_core Asym_sim Asym_structs Asym_util Backend Bytes Client Clock Hashtbl Int64 Latency List Printf Report Runner Sched Simtime Timeline Types

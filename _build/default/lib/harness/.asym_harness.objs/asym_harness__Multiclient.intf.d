@@ -1,0 +1,1 @@
+lib/harness/multiclient.mli: Asym_sim Report Runner

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Asym_baseline Asym_core Asym_sim Asym_structs Asym_workload

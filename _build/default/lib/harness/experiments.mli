@@ -1,0 +1,64 @@
+(** Single-client experiments of the paper's evaluation: Tables 2 and 3,
+    Figures 6/7/12/13, the §4.4 cache-policy study and the design-choice
+    ablations. Each function runs its experiment at the given scale and
+    returns a printable report; see EXPERIMENTS.md for paper-vs-measured
+    commentary. Multi-client experiments live in {!Multiclient}. *)
+
+type scale = {
+  preload : int;  (** keys loaded before measuring *)
+  ops : int;  (** measured operations per cell *)
+  subscribers : int;  (** TATP population *)
+  accounts : int;  (** SmallBank population *)
+}
+
+val quick : scale
+val full : scale
+
+val run_tatp_asym : ?cache_pct:float -> cfg:Asym_core.Client.config -> sc:scale -> unit -> float
+val run_tatp_sym : cfg:Asym_baseline.Local_store.config -> sc:scale -> unit -> float
+
+val run_bank_asym :
+  ?cache_pct:float -> ?cust_gen:(unit -> int64) -> cfg:Asym_core.Client.config -> sc:scale ->
+  unit -> float
+
+val run_bank_sym : cfg:Asym_baseline.Local_store.config -> sc:scale -> unit -> float
+
+val table2 : scale -> Report.t
+(** Allocator comparison: Glibc / Pmem / RPC-only / two-tier at 128 B and
+    1024 B slabs (§5.2, Table 2). *)
+
+val table3 : scale -> Report.t
+(** Overall performance: 8 structures + TATP + SmallBank across
+    Symmetric, Symmetric-B, Naive, R, RC, RCB (Table 3). *)
+
+val fig6 : scale -> Report.t
+(** Throughput vs batch size 1…4096; BST/BPT via sorted vector writes. *)
+
+val fig7 : scale -> Report.t
+(** Throughput vs cache size (1/5/10/20% of used NVM). *)
+
+val fig12 : scale -> Report.t
+(** Uniform vs Zipf(.5/.9/.99) workloads. *)
+
+val fig13 : scale -> Report.t
+(** Industry-trace mixes (power-law keys, 64 B – 8 KB values) across
+    Naive / R / RC. *)
+
+val latency : scale -> Report.t
+(** Extension: per-operation virtual latency (mean/p50/p99) per
+    configuration. *)
+
+val ycsb : scale -> Report.t
+(** Extension: the standard YCSB core workloads A/B/C/D/F. *)
+
+val sensitivity : scale -> Report.t
+(** Extension beyond the paper: sweep the RDMA round trip and the NVM
+    media latency, reporting how the RCB/Naive advantage responds. *)
+
+val cache_policy : scale -> Report.t
+(** §4.4: LRU vs RR vs the hybrid choose-set policy. *)
+
+val ablation : scale -> Report.t
+(** On/off comparisons of individual design choices: §8.1 annulment, the
+    §4.3 wire-pointer optimization, §8.3 level caching, §4.2 transaction
+    coalescing. *)

@@ -1,0 +1,356 @@
+(** Multi-front-end experiments: reader scalability (Figure 8), multiple
+    structures per back-end (Figure 9), partitioning over several
+    back-ends (Figure 10), CPU utilization (Figure 11) and the §6.3 lock
+    ping-point test. All of them co-simulate several front-end clocks with
+    {!Asym_sim.Sched}. *)
+
+open Asym_sim
+open Asym_core
+
+let lat = Latency.default
+
+(* Align a set of clocks at a common starting line. *)
+let align clocks =
+  let t0 = Sched.makespan clocks in
+  List.iter (fun c -> Clock.wait_until c t0) clocks;
+  t0
+
+let kops_of ops elapsed =
+  if elapsed <= 0 then 0.0 else float_of_int ops /. Simtime.to_sec elapsed /. 1000.0
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 — multiple readers, one writer                              *)
+(* ------------------------------------------------------------------ *)
+
+type fig8_point = { writer_kops : float; reader_avg_kops : float; retry_ratio : float }
+
+let fig8_point ~kind ~readers ~preload ~duration =
+  let rig = Runner.make_rig lat in
+  (* Writer preloads, then keeps inserting. *)
+  let wcfg = { (Client.rcb ~batch_size:64 ()) with Client.flush_on_unlock = false } in
+  let writer = Runner.fresh_client ~name:"writer" rig wcfg in
+  let winst = Runner.client_instance ~shared:true kind writer ~name:"shared-ds" in
+  Runner.preload_instance winst ~fifo:false ~n:preload ~value_size:64;
+  let rclients =
+    List.init readers (fun i ->
+        Runner.fresh_client ~name:(Printf.sprintf "reader%d" i) rig
+          (Runner.with_cache_pct rig (Client.rc ()) 0.10))
+  in
+  let rinsts =
+    List.map (fun c -> (c, Runner.client_instance ~shared:true kind c ~name:"shared-ds")) rclients
+  in
+  (* Warm every reader's cache and level threshold before the clocks are
+     aligned and measurement starts. *)
+  List.iteri
+    (fun i (_, inst) ->
+      let rng = Asym_util.Rng.create ~seed:(Int64.of_int (900 + i)) in
+      for _ = 1 to 1024 do
+        ignore (inst.Runner.get (Int64.of_int (Asym_util.Rng.int rng preload)))
+      done)
+    rinsts;
+  let clocks = Client.clock writer :: List.map Client.clock rclients in
+  let t0 = align clocks in
+  let deadline = t0 + duration in
+  let wops = ref 0 in
+  let wrng = Asym_util.Rng.create ~seed:51L in
+  let wclient =
+    Sched.client ~clock:(Client.clock writer) ~step:(fun () ->
+        let k = Int64.of_int (Asym_util.Rng.int wrng (preload * 4)) in
+        winst.Runner.put k (Runner.value_of k);
+        incr wops;
+        true)
+  in
+  let rops = Hashtbl.create 8 in
+  let rclients_s =
+    List.mapi
+      (fun i (c, inst) ->
+        let rng = Asym_util.Rng.create ~seed:(Int64.of_int (100 + i)) in
+        Hashtbl.replace rops i 0;
+        Sched.client ~clock:(Client.clock c) ~step:(fun () ->
+            let k = Int64.of_int (Asym_util.Rng.int rng preload) in
+            ignore (inst.Runner.get k);
+            Hashtbl.replace rops i (Hashtbl.find rops i + 1);
+            true))
+      rinsts
+  in
+  Sched.run ~deadline (wclient :: rclients_s);
+  let writer_kops = kops_of !wops (Clock.now (Client.clock writer) - t0) in
+  let reader_rates =
+    List.mapi
+      (fun i c -> kops_of (Hashtbl.find rops i) (Clock.now (Client.clock c) - t0))
+      rclients
+  in
+  let reader_avg_kops =
+    if readers = 0 then 0.0
+    else List.fold_left ( +. ) 0.0 reader_rates /. float_of_int readers
+  in
+  let total_reads = Hashtbl.fold (fun _ v a -> a + v) rops 0 in
+  let retries = List.fold_left (fun a c -> a + Client.read_retries c) 0 rclients in
+  let retry_ratio =
+    if total_reads + retries = 0 then 0.0
+    else float_of_int retries /. float_of_int (total_reads + retries)
+  in
+  { writer_kops; reader_avg_kops; retry_ratio }
+
+let fig8 ~preload ~duration =
+  let t =
+    Report.create ~title:"Figure 8: reader scalability (KOPS), 1 writer + N readers"
+      ~header:[ "Benchmark"; "Readers"; "Reader avg"; "Writer"; "Retry ratio" ]
+      ~notes:
+        [
+          "8a lock-free: MV-BST / MV-BPT (no retries by construction)";
+          "8b lock-based: BST / BPT / SkipList (optimistic readers retry)";
+        ]
+      ()
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun readers ->
+          let p = fig8_point ~kind ~readers ~preload ~duration in
+          Report.add_row t
+            [
+              Runner.ds_name kind;
+              string_of_int readers;
+              Report.kops p.reader_avg_kops;
+              Report.kops p.writer_kops;
+              Report.pct p.retry_ratio;
+            ])
+        [ 1; 2; 3; 4; 5; 6 ])
+    [ Runner.Mv_bst; Runner.Mv_bpt; Runner.Bst; Runner.Bpt; Runner.Skip_list ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 — multiple structures sharing one back-end                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_point ~kind ~n ~preload ~duration =
+  let rig = Runner.make_rig lat in
+  let clients =
+    List.init n (fun i ->
+        let c =
+          Runner.fresh_client ~name:(Printf.sprintf "fe%d" i) rig (Client.rcb ~batch_size:64 ())
+        in
+        let inst = Runner.client_instance kind c ~name:(Printf.sprintf "ds%d" i) in
+        Runner.preload_instance inst ~fifo:false ~n:preload ~value_size:64;
+        (c, inst))
+  in
+  let clocks = List.map (fun (c, _) -> Client.clock c) clients in
+  let t0 = align clocks in
+  let deadline = t0 + duration in
+  let counts = Array.make n 0 in
+  let scheds =
+    List.mapi
+      (fun i (c, inst) ->
+        let rng = Asym_util.Rng.create ~seed:(Int64.of_int (200 + i)) in
+        Sched.client ~clock:(Client.clock c) ~step:(fun () ->
+            let k = Int64.of_int (Asym_util.Rng.int rng (preload * 4)) in
+            inst.Runner.put k (Runner.value_of k);
+            counts.(i) <- counts.(i) + 1;
+            true))
+      clients
+  in
+  Sched.run ~deadline scheds;
+  let total = Array.fold_left ( + ) 0 counts in
+  kops_of total duration
+
+let fig9 ~preload ~duration =
+  let t =
+    Report.create
+      ~title:"Figure 9: aggregate throughput (KOPS), N front-ends with independent structures"
+      ~header:("Benchmark" :: List.map string_of_int [ 1; 2; 3; 4; 5; 6; 7 ])
+      ()
+  in
+  List.iter
+    (fun kind ->
+      Report.add_row t
+        (Runner.ds_name kind
+        :: List.map
+             (fun n -> Report.kops (fig9_point ~kind ~n ~preload ~duration))
+             [ 1; 2; 3; 4; 5; 6; 7 ]))
+    [ Runner.Skip_list; Runner.Bst; Runner.Bpt; Runner.Mv_bst; Runner.Mv_bpt ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 — partitioning over multiple back-ends                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_point ~kind ~backends ~preload ~ops =
+  (* One front-end node (one clock) with a connection to each back-end;
+     key-hash routing picks the partition (§8.3 / Multi_backend). *)
+  let rigs =
+    List.init backends (fun i ->
+        Runner.make_rig ~name:(Printf.sprintf "bk%d" i) ~capacity:(64 * 1024 * 1024)
+          ~max_sessions:3 ~memlog_cap:(4 * 1024 * 1024) lat)
+  in
+  let clock = Clock.create ~name:"fe" () in
+  let mb =
+    Asym_structs.Multi_backend.create ~cfg:(Client.rcb ~batch_size:64 ()) ~name:"part" ~clock
+      ~backends:(List.map (fun r -> r.Runner.bk) rigs)
+      ~attach:(fun c _i -> Runner.client_instance kind c ~name:"part")
+      ()
+  in
+  let route key = Asym_structs.Multi_backend.route mb key in
+  (* Preload through the partitions, shuffled and spread over the key
+     space (an ordered preload degenerates the unbalanced trees). *)
+  let keys = Array.init preload (fun i -> Int64.of_int (4 * i)) in
+  Asym_util.Rng.shuffle (Asym_util.Rng.create ~seed:4321L) keys;
+  Array.iter (fun k -> (route k).Runner.put k (Runner.value_of k)) keys;
+  Asym_structs.Multi_backend.iter_parts mb (fun _ inst -> inst.Runner.cleanup ());
+  let rng = Asym_util.Rng.create ~seed:61L in
+  let t0 = Clock.now clock in
+  for _ = 1 to ops do
+    let k = Int64.of_int (Asym_util.Rng.int rng (preload * 4)) in
+    (route k).Runner.put k (Runner.value_of k)
+  done;
+  kops_of ops (Clock.now clock - t0)
+
+let fig10 ~preload ~ops =
+  let t =
+    Report.create ~title:"Figure 10: throughput (KOPS) with the structure partitioned over N back-ends"
+      ~header:("Benchmark" :: List.map string_of_int [ 1; 2; 3; 4; 5; 6; 7 ])
+      ()
+  in
+  List.iter
+    (fun kind ->
+      Report.add_row t
+        (Runner.ds_name kind
+        :: List.map
+             (fun n -> Report.kops (fig10_point ~kind ~backends:n ~preload ~ops))
+             [ 1; 2; 3; 4; 5; 6; 7 ]))
+    [ Runner.Skip_list; Runner.Bst; Runner.Bpt; Runner.Mv_bst; Runner.Mv_bpt ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11 — CPU utilization                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 ~preload ~ops =
+  let t =
+    Report.create ~title:"Figure 11: CPU utilization, BST with 10% put / 90% get"
+      ~header:[ "Ops so far"; "Front-end util"; "Back-end util" ]
+      ()
+  in
+  let rig = Runner.make_rig lat in
+  let c =
+    Runner.fresh_client ~name:"fe" rig
+      (Runner.with_cache_pct rig (Client.rcb ~batch_size:64 ()) 0.10)
+  in
+  let inst = Runner.client_instance Runner.Bst c ~name:"bst" in
+  Runner.preload_instance inst ~fifo:false ~n:preload ~value_size:64;
+  let clock = Client.clock c in
+  let rng = Asym_util.Rng.create ~seed:71L in
+  let windows = 10 in
+  let per_window = max 1 (ops / windows) in
+  let done_ops = ref 0 in
+  for _ = 1 to windows do
+    let t0 = Clock.now clock in
+    let fe_busy0 = Clock.busy clock in
+    let be_busy0 = Timeline.busy_total (Backend.cpu rig.Runner.bk) in
+    for _ = 1 to per_window do
+      let k = Int64.of_int (Asym_util.Rng.int rng (preload * 2)) in
+      if Asym_util.Rng.float rng < 0.1 then inst.Runner.put k (Runner.value_of k)
+      else ignore (inst.Runner.get k)
+    done;
+    done_ops := !done_ops + per_window;
+    let elapsed = Clock.now clock - t0 in
+    let fe = float_of_int (Clock.busy clock - fe_busy0) /. float_of_int (max 1 elapsed) in
+    let be =
+      float_of_int (Timeline.busy_total (Backend.cpu rig.Runner.bk) - be_busy0)
+      /. float_of_int (max 1 elapsed)
+    in
+    Report.add_row t [ string_of_int !done_ops; Report.pct fe; Report.pct be ]
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* §6.3 lock ping-point test                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lock_bench_point ~write_ratio ~readers ~duration =
+  let rig = Runner.make_rig lat in
+  (* One shared 64-byte object, registered in the naming space. *)
+  let setup = Runner.fresh_client ~name:"setup" rig (Client.r ()) in
+  let h = Client.register_ds setup "object" in
+  let addr = Client.malloc setup 64 in
+  ignore (Client.op_begin setup ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write setup ~ds:h.Types.id ~addr (Bytes.make 64 'i');
+  Client.op_end setup ~ds:h.Types.id;
+  (* Writer client: mixes writes (under the exclusive lock) with reads so
+     that [write_ratio] of its operations are writes. *)
+  let wc = Runner.fresh_client ~name:"writer" rig (Client.rcb ~batch_size:8 ()) in
+  let wh = Client.register_ds wc "object" in
+  let rcs =
+    List.init readers (fun i ->
+        let c = Runner.fresh_client ~name:(Printf.sprintf "r%d" i) rig (Client.r ()) in
+        (c, Client.register_ds c "object"))
+  in
+  let clocks = Client.clock wc :: List.map (fun (c, _) -> Client.clock c) rcs in
+  let t0 = align clocks in
+  let deadline = t0 + duration in
+  let writes = ref 0 in
+  let wrng = Asym_util.Rng.create ~seed:81L in
+  let writer =
+    Sched.client ~clock:(Client.clock wc) ~step:(fun () ->
+        if Asym_util.Rng.float wrng < write_ratio then begin
+          Client.writer_lock wc wh;
+          ignore (Client.op_begin wc ~ds:wh.Types.id ~optype:1 ~params:Bytes.empty);
+          Client.write wc ~ds:wh.Types.id ~addr (Bytes.make 64 'w');
+          Client.op_end wc ~ds:wh.Types.id;
+          Client.writer_unlock wc wh;
+          incr writes
+        end
+        else begin
+          ignore (Client.read wc ~addr ~len:64);
+          incr writes
+        end;
+        true)
+  in
+  let reads = Array.make readers 0 in
+  let fails = Array.make readers 0 in
+  let rsched =
+    List.mapi
+      (fun i (c, hh) ->
+        Sched.client ~clock:(Client.clock c) ~step:(fun () ->
+            let before = Client.read_retries c in
+            ignore (Client.read_section c hh (fun () -> Client.read c ~addr ~len:64));
+            reads.(i) <- reads.(i) + 1;
+            fails.(i) <- fails.(i) + (Client.read_retries c - before);
+            true))
+      rcs
+  in
+  Sched.run ~deadline (writer :: rsched);
+  let writer_kops = kops_of !writes (Clock.now (Client.clock wc) - t0) in
+  let reader_total = Array.fold_left ( + ) 0 reads in
+  let fail_total = Array.fold_left ( + ) 0 fails in
+  let per_reader =
+    Array.to_list reads
+    |> List.mapi (fun i n ->
+           kops_of n (Clock.now (Client.clock (fst (List.nth rcs i))) - t0))
+  in
+  let reader_avg = List.fold_left ( +. ) 0.0 per_reader /. float_of_int readers in
+  let fail_ratio =
+    if reader_total + fail_total = 0 then 0.0
+    else float_of_int fail_total /. float_of_int (reader_total + fail_total)
+  in
+  (reader_avg, reader_avg *. float_of_int readers, writer_kops, fail_ratio)
+
+let lock_bench ~duration =
+  let t =
+    Report.create ~title:"Lock ping-point test (§6.3): 6 readers + 1 writer on one object"
+      ~header:[ "Write ratio"; "Reader avg"; "Readers total"; "Writer"; "Reader fail ratio" ]
+      ~notes:
+        [ "paper: 10% write -> 260 KOPS/reader, 539 KOPS writer, 3% fails; 50% write -> 165 \
+           KOPS/reader, 510 KOPS writer, 26% fails" ]
+      ()
+  in
+  List.iter
+    (fun ratio ->
+      let avg, total, writer, fails = lock_bench_point ~write_ratio:ratio ~readers:6 ~duration in
+      Report.add_row t
+        [
+          Report.pct ratio; Report.kops avg; Report.kops total; Report.kops writer;
+          Report.pct fails;
+        ])
+    [ 0.1; 0.5 ];
+  t

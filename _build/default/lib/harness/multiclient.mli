@@ -1,0 +1,41 @@
+(** Multi-front-end experiments, co-simulated with {!Asym_sim.Sched}:
+    reader scalability (Figure 8), independent structures sharing a
+    back-end (Figure 9), partitioning over several back-ends (Figure 10),
+    CPU utilization (Figure 11) and the §6.3 lock ping-point test. *)
+
+type fig8_point = {
+  writer_kops : float;
+  reader_avg_kops : float;
+  retry_ratio : float;  (** failed optimistic reads / attempted reads *)
+}
+
+val fig8_point :
+  kind:Runner.ds_kind -> readers:int -> preload:int -> duration:Asym_sim.Simtime.t -> fig8_point
+(** One writer (100% insert) plus [readers] reader front-ends on one
+    shared structure. *)
+
+val fig8 : preload:int -> duration:Asym_sim.Simtime.t -> Report.t
+
+val fig9_point :
+  kind:Runner.ds_kind -> n:int -> preload:int -> duration:Asym_sim.Simtime.t -> float
+(** Aggregate KOPS of [n] front-ends, each writing its own structure on a
+    shared back-end. *)
+
+val fig9 : preload:int -> duration:Asym_sim.Simtime.t -> Report.t
+
+val fig10_point : kind:Runner.ds_kind -> backends:int -> preload:int -> ops:int -> float
+(** One front-end, structure key-hash-partitioned over [backends]
+    back-end nodes. *)
+
+val fig10 : preload:int -> ops:int -> Report.t
+
+val fig11 : preload:int -> ops:int -> Report.t
+(** Front-end vs back-end CPU utilization over windows of a 10% put / 90%
+    get BST run. *)
+
+val lock_bench_point :
+  write_ratio:float -> readers:int -> duration:Asym_sim.Simtime.t -> float * float * float * float
+(** [(reader_avg, readers_total, writer, fail_ratio)] of the §6.3
+    ping-point test: 6 readers and 1 writer on a single 64-byte object. *)
+
+val lock_bench : duration:Asym_sim.Simtime.t -> Report.t

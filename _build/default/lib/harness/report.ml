@@ -1,0 +1,39 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list;  (* newest first *)
+  notes : string list;
+}
+
+let create ~title ~header ?(notes = []) () = { title; header; rows = []; notes }
+let add_row t row = t.rows <- row :: t.rows
+
+let kops v = Printf.sprintf "%.1f" v
+let mops v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let ratio v = Printf.sprintf "%.2fx" v
+
+let render fmt t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r -> match List.nth_opt r c with Some s -> max m (String.length s) | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line r =
+    String.concat "  "
+      (List.mapi (fun i w -> pad (match List.nth_opt r i with Some s -> s | None -> "") w) widths)
+  in
+  Format.fprintf fmt "@.== %s ==@." t.title;
+  Format.fprintf fmt "%s@." (line t.header);
+  Format.fprintf fmt "%s@." (String.make (String.length (line t.header)) '-');
+  List.iter (fun r -> Format.fprintf fmt "%s@." (line r)) rows;
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes
+
+let print t = render Format.std_formatter t

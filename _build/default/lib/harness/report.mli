@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment output (aligned columns,
+    title, footnotes — the format bench/main.exe prints). *)
+
+type t
+
+val create : title:string -> header:string list -> ?notes:string list -> unit -> t
+val add_row : t -> string list -> unit
+
+(** Cell formatters. *)
+
+val kops : float -> string
+val mops : float -> string
+val pct : float -> string
+(** [pct 0.12] is ["12.0%"]. *)
+
+val ratio : float -> string
+(** [ratio 2.0] is ["2.00x"]. *)
+
+val render : Format.formatter -> t -> unit
+val print : t -> unit

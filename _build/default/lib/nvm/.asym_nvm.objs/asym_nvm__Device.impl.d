@@ -1,0 +1,1 @@
+lib/nvm/device.ml: Asym_sim Bytes Int64 Latency Printf

@@ -1,0 +1,1 @@
+lib/nvm/device.mli: Asym_sim

@@ -1,0 +1,103 @@
+open Asym_sim
+
+type addr = int
+
+type t = {
+  name : string;
+  capacity : int;
+  media : bytes;
+  lat : Latency.t;
+  mutable last_write : (addr * bytes) option;  (* position and pre-image of last write *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_written : int;
+}
+
+let create ?(name = "nvm") ~capacity lat =
+  assert (capacity > 0);
+  {
+    name;
+    capacity;
+    media = Bytes.make capacity '\000';
+    lat;
+    last_write = None;
+    reads = 0;
+    writes = 0;
+    bytes_written = 0;
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+let latency t = t.lat
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > t.capacity then
+    invalid_arg
+      (Printf.sprintf "Nvm.Device %s: access out of bounds (addr=%d len=%d cap=%d)" t.name addr
+         len t.capacity)
+
+let read t ~addr ~len =
+  check t addr len;
+  t.reads <- t.reads + 1;
+  Bytes.sub t.media addr len
+
+let read_u64 t ~addr =
+  check t addr 8;
+  t.reads <- t.reads + 1;
+  Bytes.get_int64_le t.media addr
+
+let write t ~addr b =
+  let len = Bytes.length b in
+  check t addr len;
+  t.last_write <- Some (addr, Bytes.sub t.media addr len);
+  Bytes.blit b 0 t.media addr len;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + len
+
+let write_u64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t ~addr b
+
+let compare_and_swap t ~addr ~expected ~desired =
+  check t addr 8;
+  let old = Bytes.get_int64_le t.media addr in
+  if old = expected then begin
+    t.last_write <- Some (addr, Bytes.sub t.media addr 8);
+    Bytes.set_int64_le t.media addr desired;
+    t.writes <- t.writes + 1;
+    t.bytes_written <- t.bytes_written + 8
+  end;
+  old
+
+let fetch_add t ~addr delta =
+  check t addr 8;
+  let old = Bytes.get_int64_le t.media addr in
+  t.last_write <- Some (addr, Bytes.sub t.media addr 8);
+  Bytes.set_int64_le t.media addr (Int64.add old delta);
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + 8;
+  old
+
+let read_cost t ~len = Latency.nvm_read_cost t.lat len
+let write_cost t ~len = Latency.nvm_write_cost t.lat len
+
+let tear_last_write t ~keep =
+  match t.last_write with
+  | None -> ()
+  | Some (addr, pre) ->
+      let len = Bytes.length pre in
+      let keep = max 0 (min keep len) in
+      (* Revert the suffix past [keep] to the pre-image. *)
+      Bytes.blit pre keep t.media (addr + keep) (len - keep);
+      t.last_write <- None
+
+let crash_restart t = t.last_write <- None
+let reads_performed t = t.reads
+let writes_performed t = t.writes
+let bytes_written t = t.bytes_written
+let snapshot t = Bytes.copy t.media
+
+let load t b =
+  if Bytes.length b <> t.capacity then invalid_arg "Nvm.Device.load: capacity mismatch";
+  Bytes.blit b 0 t.media 0 t.capacity

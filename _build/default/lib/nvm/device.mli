@@ -1,0 +1,58 @@
+(** Simulated byte-addressable non-volatile memory device.
+
+    Models the durability properties AsymNVM relies on:
+    - any completed write is durable (the ack the RDMA NIC returns after
+      DDIO/ADR drains to the persistence domain);
+    - a write in flight when the host crashes may be {e torn}: only a
+      prefix of it reaches the media. {!tear_last_write} reverts the
+      suffix of the most recent write, which is exactly the failure the
+      per-transaction checksum (paper §4.2) exists to detect.
+
+    The device never loses completed writes across {!crash_restart}; only
+    the torn suffix (if injected) differs. Media latencies are exposed as
+    cost functions; charging them to the right clock is the caller's
+    (NIC's / backend CPU's) job. *)
+
+type t
+
+type addr = int
+(** Byte offset into the device. The paper uses 64-bit NVM addresses; a
+    63-bit OCaml [int] is plenty for simulated capacities. *)
+
+val create : ?name:string -> capacity:int -> Asym_sim.Latency.t -> t
+val name : t -> string
+val capacity : t -> int
+val latency : t -> Asym_sim.Latency.t
+
+val read : t -> addr:addr -> len:int -> bytes
+val read_u64 : t -> addr:addr -> int64
+val write : t -> addr:addr -> bytes -> unit
+val write_u64 : t -> addr:addr -> int64 -> unit
+
+val compare_and_swap : t -> addr:addr -> expected:int64 -> desired:int64 -> int64
+(** Atomic 8-byte CAS; returns the previous value. *)
+
+val fetch_add : t -> addr:addr -> int64 -> int64
+(** Atomic 8-byte add; returns the previous value. *)
+
+val read_cost : t -> len:int -> Asym_sim.Simtime.t
+val write_cost : t -> len:int -> Asym_sim.Simtime.t
+
+val tear_last_write : t -> keep:int -> unit
+(** Simulate a crash tearing the most recent write: only its first [keep]
+    bytes persist; the rest revert to the previous contents. No-op if
+    there was no write yet. *)
+
+val crash_restart : t -> unit
+(** Power-cycle the device. Durable contents are preserved; the
+    tear-injection bookkeeping is reset. *)
+
+val reads_performed : t -> int
+val writes_performed : t -> int
+val bytes_written : t -> int
+
+val snapshot : t -> bytes
+(** Copy of the full media contents (for mirror promotion and tests). *)
+
+val load : t -> bytes -> unit
+(** Overwrite media contents from a snapshot of the same capacity. *)

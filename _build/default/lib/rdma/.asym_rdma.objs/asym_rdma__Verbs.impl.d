@@ -1,0 +1,1 @@
+lib/rdma/verbs.ml: Asym_nvm Asym_sim Bytes Clock Latency Printf Timeline

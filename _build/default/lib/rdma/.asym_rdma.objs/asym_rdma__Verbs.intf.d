@@ -1,0 +1,1 @@
+lib/rdma/verbs.mli: Asym_nvm Asym_sim

@@ -1,0 +1,108 @@
+open Asym_sim
+
+exception Failure_detected of string
+
+type conn = {
+  client : Clock.t;
+  remote_nic : Timeline.t;
+  remote_mem : Asym_nvm.Device.t;
+  lat : Latency.t;
+  mutable failed : bool;
+  mutable ops : int;
+  mutable wire_bytes : int;
+}
+
+let connect ~client ~remote_nic ~remote_mem lat =
+  { client; remote_nic; remote_mem; lat; failed = false; ops = 0; wire_bytes = 0 }
+
+let client_clock t = t.client
+let remote_mem t = t.remote_mem
+let set_failed t v = t.failed <- v
+let is_failed t = t.failed
+
+let check_alive t =
+  if t.failed then raise (Failure_detected (Asym_nvm.Device.name t.remote_mem))
+
+(* Occupy the remote NIC for the service time of the verb, then charge the
+   client for the end-to-end completion. NVM media time adds to the
+   client-visible latency but does not occupy the NIC (DMA engines
+   pipeline it). Returns the absolute completion time at the remote
+   side. *)
+let round_trip t ~service ~media =
+  let at = Clock.now t.client in
+  let dur = t.lat.Latency.rdma_post_ns + service in
+  let start = Timeline.acquire t.remote_nic ~at ~dur in
+  let queueing = start - at in
+  let total = queueing + t.lat.Latency.rdma_rtt_ns + service + media in
+  Clock.advance t.client total;
+  t.ops <- t.ops + 1;
+  start + dur + media
+
+(* Validate before charging: an optimistic reader chasing a pointer that a
+   concurrent writer reclaimed can ask for absurd addresses or lengths;
+   the NIC rejects the work request instead of overflowing cost math. *)
+let check_bounds t ~addr ~len =
+  if len < 0 || addr < 0 || addr + len > Asym_nvm.Device.capacity t.remote_mem then
+    invalid_arg
+      (Printf.sprintf "Rdma.Verbs: invalid memory region (addr=%d len=%d)" addr len)
+
+let read t ~addr ~len =
+  check_alive t;
+  check_bounds t ~addr ~len;
+  let service = Latency.rdma_payload_ns t.lat len in
+  let media = Asym_nvm.Device.read_cost t.remote_mem ~len in
+  let _done_at = round_trip t ~service ~media in
+  t.wire_bytes <- t.wire_bytes + len;
+  Asym_nvm.Device.read t.remote_mem ~addr ~len
+
+let write ?wire_len t ~addr b =
+  check_alive t;
+  check_bounds t ~addr ~len:(Bytes.length b);
+  let len = match wire_len with Some w -> w | None -> Bytes.length b in
+  let service = Latency.rdma_payload_ns t.lat len in
+  let media = Asym_nvm.Device.write_cost t.remote_mem ~len in
+  let _done_at = round_trip t ~service ~media in
+  t.wire_bytes <- t.wire_bytes + len;
+  Asym_nvm.Device.write t.remote_mem ~addr b
+
+let write_unsignaled t ~addr b =
+  check_alive t;
+  let len = Bytes.length b in
+  let service = Latency.rdma_payload_ns t.lat len in
+  let media = Asym_nvm.Device.write_cost t.remote_mem ~len in
+  ignore media;
+  let at = Clock.now t.client in
+  let dur = t.lat.Latency.rdma_post_ns + service in
+  let _start = Timeline.acquire t.remote_nic ~at ~dur in
+  (* The client only pays the local posting cost. *)
+  Clock.advance t.client t.lat.Latency.rdma_post_ns;
+  t.ops <- t.ops + 1;
+  t.wire_bytes <- t.wire_bytes + len;
+  Asym_nvm.Device.write t.remote_mem ~addr b
+
+let compare_and_swap t ~addr ~expected ~desired =
+  check_alive t;
+  let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
+  let at = Clock.now t.client in
+  let dur = t.lat.Latency.rdma_post_ns in
+  let start = Timeline.acquire t.remote_nic ~at ~dur in
+  let queueing = start - at in
+  Clock.advance t.client (queueing + t.lat.Latency.rdma_atomic_ns + media);
+  t.ops <- t.ops + 1;
+  t.wire_bytes <- t.wire_bytes + 16;
+  Asym_nvm.Device.compare_and_swap t.remote_mem ~addr ~expected ~desired
+
+let fetch_add t ~addr delta =
+  check_alive t;
+  let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
+  let at = Clock.now t.client in
+  let dur = t.lat.Latency.rdma_post_ns in
+  let start = Timeline.acquire t.remote_nic ~at ~dur in
+  let queueing = start - at in
+  Clock.advance t.client (queueing + t.lat.Latency.rdma_atomic_ns + media);
+  t.ops <- t.ops + 1;
+  t.wire_bytes <- t.wire_bytes + 16;
+  Asym_nvm.Device.fetch_add t.remote_mem ~addr delta
+
+let ops_posted t = t.ops
+let bytes_on_wire t = t.wire_bytes

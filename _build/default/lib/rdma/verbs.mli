@@ -1,0 +1,55 @@
+(** Simulated one-sided RDMA verbs.
+
+    A {!conn} links a front-end node's clock to a back-end node's NVM
+    through the back-end's NIC timeline. One-sided operations never involve
+    the remote CPU — only the remote NIC and the NVM media — which is the
+    property AsymNVM's passive back-end design (§3.3) depends on.
+
+    Cost model per verb: the remote NIC is occupied for the posting cost
+    plus payload serialization plus NVM media time; the initiating client
+    blocks for the full round trip. [write] is durable when it returns
+    (the ack): crash-in-flight tearing is injected via
+    {!Asym_nvm.Device.tear_last_write} by failure tests. *)
+
+exception Failure_detected of string
+(** Raised when the remote end is marked failed — the RNIC feedback the
+    front-end uses to detect back-end crashes (paper §7.2 Case 3). *)
+
+type conn
+
+val connect :
+  client:Asym_sim.Clock.t ->
+  remote_nic:Asym_sim.Timeline.t ->
+  remote_mem:Asym_nvm.Device.t ->
+  Asym_sim.Latency.t ->
+  conn
+
+val client_clock : conn -> Asym_sim.Clock.t
+val remote_mem : conn -> Asym_nvm.Device.t
+
+val set_failed : conn -> bool -> unit
+val is_failed : conn -> bool
+
+val read : conn -> addr:int -> len:int -> bytes
+(** RDMA_Read: one round trip, blocks the client. *)
+
+val write : ?wire_len:int -> conn -> addr:int -> bytes -> unit
+(** RDMA_Write with remote durability ack: one round trip. [wire_len]
+    overrides the payload size used for cost accounting — the front-end
+    library uses it for the §4.3 optimization that ships an operation-log
+    pointer in place of a value already durable in the op log (the media
+    still receives the full record so checksums stay honest). *)
+
+val write_unsignaled : conn -> addr:int -> bytes -> unit
+(** Posted write without waiting for completion: client pays only the
+    posting cost; durability is only guaranteed after a later signaled
+    verb completes. Used by the symmetric baseline's asynchronous log
+    shipping. *)
+
+val compare_and_swap : conn -> addr:int -> expected:int64 -> desired:int64 -> int64
+val fetch_add : conn -> addr:int -> int64 -> int64
+
+val ops_posted : conn -> int
+(** Number of verbs posted on this connection (IOPS accounting). *)
+
+val bytes_on_wire : conn -> int

@@ -1,0 +1,1 @@
+lib/sim/conflict.mli: Simtime

@@ -1,0 +1,1 @@
+lib/sim/timeline.mli: Simtime

@@ -1,0 +1,21 @@
+type t = { name : string; mutable now : Simtime.t; mutable busy : Simtime.t }
+
+let create ?(name = "node") () = { name; now = 0; busy = 0 }
+let name t = t.name
+let now t = t.now
+
+let advance t d =
+  assert (d >= 0);
+  t.now <- t.now + d;
+  t.busy <- t.busy + d
+
+let wait_until t at = if at > t.now then t.now <- at
+let busy t = t.busy
+
+let utilization t ~since ~busy_since =
+  let elapsed = t.now - since in
+  if elapsed <= 0 then 0.0 else float_of_int (t.busy - busy_since) /. float_of_int elapsed
+
+let reset t =
+  t.now <- 0;
+  t.busy <- 0

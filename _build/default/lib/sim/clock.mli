@@ -1,0 +1,27 @@
+(** Per-node virtual clock with busy-time accounting.
+
+    Each simulated node (front-end, back-end, mirror) owns one clock.
+    [advance] models time the node spends doing work (counts as busy);
+    [wait_until] models blocking on a remote event (idle). The busy/total
+    split is what Figure 11 (CPU utilization) reports. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val now : t -> Simtime.t
+
+val advance : t -> Simtime.t -> unit
+(** Spend [d] nanoseconds of busy time. *)
+
+val wait_until : t -> Simtime.t -> unit
+(** Block (idle) until the given absolute time, if it is in the future. *)
+
+val busy : t -> Simtime.t
+(** Total busy time accumulated so far. *)
+
+val utilization : t -> since:Simtime.t -> busy_since:Simtime.t -> float
+(** Utilization over the window from [since] (with [busy_since] the busy
+    counter sampled at that moment) to now. *)
+
+val reset : t -> unit

@@ -1,0 +1,39 @@
+type t = {
+  starts : Simtime.t array;
+  stops : Simtime.t array;
+  capacity : int;
+  mutable total : int;
+  mutable oldest_known : Simtime.t;  (* windows ending before this were evicted *)
+}
+
+let create ?(capacity = 1024) () =
+  {
+    starts = Array.make capacity 0;
+    stops = Array.make capacity 0;
+    capacity;
+    total = 0;
+    oldest_known = 0;
+  }
+
+let record t ~start_ ~stop =
+  assert (stop >= start_);
+  let i = t.total mod t.capacity in
+  if t.total >= t.capacity then t.oldest_known <- Stdlib.max t.oldest_known t.stops.(i);
+  t.starts.(i) <- start_;
+  t.stops.(i) <- stop;
+  t.total <- t.total + 1
+
+let overlaps t ~start_ ~stop =
+  if start_ < t.oldest_known then true
+  else begin
+    let n = min t.total t.capacity in
+    let hit = ref false in
+    let i = ref 0 in
+    while (not !hit) && !i < n do
+      if t.starts.(!i) < stop && start_ < t.stops.(!i) then hit := true;
+      incr i
+    done;
+    !hit
+  end
+
+let count t = t.total

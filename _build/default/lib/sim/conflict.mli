@@ -1,0 +1,24 @@
+(** Write-application interval tracker.
+
+    The back-end records, per data structure, the virtual-time windows
+    during which it applied memory logs to the data area (the windows in
+    which the sequence number of Algorithm 2 is odd). A reader validates
+    its optimistic read by checking that its gather window overlapped no
+    application window; an overlap forces a retry, exactly as the
+    SN-compare in the paper's Reader_Unlock does. A bounded ring of recent
+    windows is kept. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> start_:Simtime.t -> stop:Simtime.t -> unit
+(** Record one application window [\[start_, stop)]. *)
+
+val overlaps : t -> start_:Simtime.t -> stop:Simtime.t -> bool
+(** Does [\[start_, stop)] intersect any recorded window, or precede a
+    window that has been evicted from the ring? (Conservatively [true] in
+    the latter case.) *)
+
+val count : t -> int
+(** Total windows ever recorded. *)

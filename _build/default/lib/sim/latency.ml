@@ -1,0 +1,36 @@
+type t = {
+  rdma_rtt_ns : int;
+  rdma_post_ns : int;
+  rdma_atomic_ns : int;
+  rdma_byte_ns : float;
+  nvm_read_ns : int;
+  nvm_write_ns : int;
+  dram_ns : int;
+  persist_fence_ns : int;
+  cpu_op_ns : int;
+  cpu_entry_ns : int;
+  ssd_write_ns : int;
+}
+
+let default =
+  {
+    rdma_rtt_ns = 2_000;
+    (* NIC occupancy per work request: a CX-3 class NIC sustains several
+       million small verbs per second. *)
+    rdma_post_ns = 150;
+    rdma_atomic_ns = 2_100;
+    (* 40 Gbps = 5 GB/s -> 0.2 ns per byte *)
+    rdma_byte_ns = 0.2;
+    nvm_read_ns = 300;
+    nvm_write_ns = 100;
+    dram_ns = 100;
+    persist_fence_ns = 500;
+    cpu_op_ns = 150;
+    cpu_entry_ns = 120;
+    ssd_write_ns = 80_000;
+  }
+
+let lines len = if len <= 0 then 1 else (len + 63) / 64
+let rdma_payload_ns t len = int_of_float (float_of_int len *. t.rdma_byte_ns)
+let nvm_read_cost t len = lines len * t.nvm_read_ns
+let nvm_write_cost t len = lines len * t.nvm_write_ns

@@ -1,0 +1,34 @@
+(** Latency model for the simulated hardware.
+
+    The defaults follow the numbers the paper builds its arguments on
+    (§1, §3.2): RDMA round trip ≈ 2 µs over 40 Gbps InfiniBand, NVM media
+    read/write ≈ 300/100 ns per cache line, DRAM ≈ 100 ns. All costs are
+    in virtual nanoseconds ({!Simtime.t}). *)
+
+type t = {
+  rdma_rtt_ns : int;  (** full round trip of a one-sided read / sync write *)
+  rdma_post_ns : int;  (** one-way posting cost occupying the remote NIC *)
+  rdma_atomic_ns : int;  (** CAS / fetch-add round trip *)
+  rdma_byte_ns : float;  (** per-byte payload cost (≈ 40 Gbps) *)
+  nvm_read_ns : int;  (** NVM media read, per 64 B line *)
+  nvm_write_ns : int;  (** NVM media write, per 64 B line *)
+  dram_ns : int;  (** local DRAM access (cache hit) *)
+  persist_fence_ns : int;  (** local persist fence (clwb+sfence), symmetric baseline *)
+  cpu_op_ns : int;  (** fixed local compute per data-structure operation *)
+  cpu_entry_ns : int;  (** backend compute to replay one memory-log entry *)
+  ssd_write_ns : int;  (** mirror node backed by SSD instead of NVM *)
+}
+
+val default : t
+
+val lines : int -> int
+(** Number of 64-byte lines covering [len] bytes (at least 1). *)
+
+val rdma_payload_ns : t -> int -> int
+(** Payload serialization cost for [len] bytes. *)
+
+val nvm_read_cost : t -> int -> int
+(** Media cost of reading [len] bytes from NVM. *)
+
+val nvm_write_cost : t -> int -> int
+(** Media cost of writing [len] bytes to NVM. *)

@@ -1,0 +1,26 @@
+type client = { clock : Clock.t; step : unit -> bool; mutable live : bool }
+
+let client ~clock ~step = { clock; step; live = true }
+
+let run ?deadline clients =
+  let clients = Array.of_list clients in
+  let live = ref (Array.length clients) in
+  while !live > 0 do
+    (* Pick the live client with the smallest virtual time. *)
+    let best = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        if c.live && (!best < 0 || Clock.now c.clock < Clock.now clients.(!best).clock) then
+          best := i)
+      clients;
+    let c = clients.(!best) in
+    let past_deadline =
+      match deadline with Some d -> Clock.now c.clock >= d | None -> false
+    in
+    if past_deadline || not (c.step ()) then begin
+      c.live <- false;
+      decr live
+    end
+  done
+
+let makespan clocks = List.fold_left (fun acc c -> Simtime.max acc (Clock.now c)) 0 clocks

@@ -1,0 +1,19 @@
+(** Cooperative multi-client co-simulation.
+
+    Each client is a (clock, step) pair; [step] performs exactly one
+    complete data-structure operation and returns [false] once the client
+    has no more work. The scheduler repeatedly runs the client whose
+    virtual clock is furthest behind, so operations across clients
+    interleave in virtual-time order — the property the conflict tracker
+    and the shared-resource timelines rely on. *)
+
+type client
+
+val client : clock:Clock.t -> step:(unit -> bool) -> client
+
+val run : ?deadline:Simtime.t -> client list -> unit
+(** Run all clients to completion, or stop scheduling clients whose clock
+    passed [deadline]. *)
+
+val makespan : Clock.t list -> Simtime.t
+(** Largest [now] among the given clocks. *)

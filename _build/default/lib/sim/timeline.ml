@@ -1,0 +1,117 @@
+(* Busy intervals are kept sorted so that requests arriving slightly out of
+   (virtual-time) order — unavoidable when client steps execute atomically —
+   backfill idle gaps instead of queueing behind bookings made for later
+   times. Old intervals are pruned behind a horizon; requests older than the
+   horizon are conservatively clamped to it. *)
+
+type t = {
+  name : string;
+  mutable starts : int array;  (* sorted busy intervals *)
+  mutable stops : int array;
+  mutable count : int;
+  mutable horizon : Simtime.t;  (* nothing may be scheduled before this *)
+  mutable free : Simtime.t;  (* open-ended hold bookkeeping *)
+  mutable busy : Simtime.t;
+}
+
+let initial_capacity = 256
+let max_intervals = 8192
+
+let create ?(name = "resource") () =
+  {
+    name;
+    starts = Array.make initial_capacity 0;
+    stops = Array.make initial_capacity 0;
+    count = 0;
+    horizon = 0;
+    free = 0;
+    busy = 0;
+  }
+
+let name t = t.name
+
+let ensure_capacity t =
+  if t.count = Array.length t.starts then begin
+    let n = t.count * 2 in
+    let s = Array.make n 0 and e = Array.make n 0 in
+    Array.blit t.starts 0 s 0 t.count;
+    Array.blit t.stops 0 e 0 t.count;
+    t.starts <- s;
+    t.stops <- e
+  end
+
+let prune t =
+  if t.count >= max_intervals then begin
+    let drop = t.count / 2 in
+    t.horizon <- Simtime.max t.horizon t.stops.(drop - 1);
+    Array.blit t.starts drop t.starts 0 (t.count - drop);
+    Array.blit t.stops drop t.stops 0 (t.count - drop);
+    t.count <- t.count - drop
+  end
+
+(* Index of the first interval with stop > x (binary search). *)
+let first_after t x =
+  let lo = ref 0 and hi = ref t.count in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.stops.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let insert_at t i start stop =
+  (* Merge with neighbours when touching, else insert. *)
+  let touches_prev = i > 0 && t.stops.(i - 1) = start in
+  let touches_next = i < t.count && t.starts.(i) = stop in
+  if touches_prev && touches_next then begin
+    t.stops.(i - 1) <- t.stops.(i);
+    Array.blit t.starts (i + 1) t.starts i (t.count - i - 1);
+    Array.blit t.stops (i + 1) t.stops i (t.count - i - 1);
+    t.count <- t.count - 1
+  end
+  else if touches_prev then t.stops.(i - 1) <- stop
+  else if touches_next then t.starts.(i) <- start
+  else begin
+    ensure_capacity t;
+    Array.blit t.starts i t.starts (i + 1) (t.count - i);
+    Array.blit t.stops i t.stops (i + 1) (t.count - i);
+    t.starts.(i) <- start;
+    t.stops.(i) <- stop;
+    t.count <- t.count + 1
+  end
+
+let acquire t ~at ~dur =
+  assert (dur >= 0);
+  let at = Simtime.max at t.horizon in
+  if dur = 0 then at
+  else begin
+    (* Find the earliest gap of length [dur] at or after [at]. *)
+    let rec fit i candidate =
+      if i >= t.count then candidate
+      else if candidate + dur <= t.starts.(i) then candidate
+      else fit (i + 1) (Simtime.max candidate t.stops.(i))
+    in
+    let i0 = first_after t at in
+    let start = fit i0 at in
+    insert_at t (first_after t start) start (start + dur);
+    prune t;
+    t.busy <- t.busy + dur;
+    if start + dur > t.free then t.free <- start + dur;
+    start
+  end
+
+let hold t ~at = Simtime.max at t.free
+
+let release t ~at =
+  if at > t.free then begin
+    t.busy <- t.busy + (at - t.free);
+    t.free <- at
+  end
+
+let free_at t = t.free
+let busy_total t = t.busy
+
+let reset t =
+  t.count <- 0;
+  t.horizon <- 0;
+  t.free <- 0;
+  t.busy <- 0

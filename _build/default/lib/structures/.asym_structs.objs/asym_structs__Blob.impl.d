@@ -1,0 +1,1 @@
+lib/structures/blob.ml: Asym_core Bytes Int32 Store

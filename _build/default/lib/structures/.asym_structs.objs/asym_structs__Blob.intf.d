@@ -1,0 +1,1 @@
+lib/structures/blob.mli: Asym_core

@@ -1,0 +1,1 @@
+lib/structures/ds_intf.ml:

@@ -1,0 +1,1 @@
+lib/structures/lazy_gc.ml: Asym_core Asym_sim Queue Store Types

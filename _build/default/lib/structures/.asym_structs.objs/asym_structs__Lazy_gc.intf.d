@@ -1,0 +1,1 @@
+lib/structures/lazy_gc.mli: Asym_core

@@ -1,0 +1,1 @@
+lib/structures/level_cache.ml:

@@ -1,0 +1,1 @@
+lib/structures/multi_backend.ml: Array Asym_core Backend Client Int64 Printf Types

@@ -1,0 +1,1 @@
+lib/structures/multi_backend.mli: Asym_core Asym_sim

@@ -1,0 +1,1 @@
+lib/structures/params.ml: Asym_util Bytes Codec List

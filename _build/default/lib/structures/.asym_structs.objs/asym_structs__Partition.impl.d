@@ -1,0 +1,1 @@
+lib/structures/partition.ml: Array Asym_core Int64 Store Types

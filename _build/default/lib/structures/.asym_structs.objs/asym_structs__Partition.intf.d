@@ -1,0 +1,1 @@
+lib/structures/partition.mli: Asym_core

@@ -1,0 +1,1 @@
+lib/structures/pbptree.ml: Array Asym_core Blob Bytes Ds_intf Fmt Fun Int64 Level_cache List Log Params Store Types

@@ -1,0 +1,1 @@
+lib/structures/pbptree.mli: Asym_core Ds_intf

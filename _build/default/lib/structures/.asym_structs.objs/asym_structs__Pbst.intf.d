@@ -1,0 +1,1 @@
+lib/structures/pbst.mli: Asym_core Ds_intf

@@ -1,0 +1,1 @@
+lib/structures/phash.ml: Asym_core Bytes Ds_intf Fmt Fun Int64 Log Params Store Types

@@ -1,0 +1,1 @@
+lib/structures/phash.mli: Asym_core Ds_intf

@@ -1,0 +1,1 @@
+lib/structures/pmvbptree.ml: Array Asym_core Blob Bytes Ds_intf Fmt Int64 Lazy_gc Level_cache List Log Params Pbptree Store Types

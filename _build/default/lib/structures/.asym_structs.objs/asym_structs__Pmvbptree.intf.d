@@ -1,0 +1,1 @@
+lib/structures/pmvbptree.mli: Asym_core Ds_intf

@@ -1,0 +1,1 @@
+lib/structures/pmvbst.mli: Asym_core Ds_intf

@@ -1,0 +1,1 @@
+lib/structures/pqueue.mli: Asym_core Ds_intf

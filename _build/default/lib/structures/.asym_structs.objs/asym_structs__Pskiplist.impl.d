@@ -1,0 +1,1 @@
+lib/structures/pskiplist.ml: Array Asym_core Asym_util Blob Bytes Ds_intf Fmt Fun Int32 Int64 List Log Params Store Types

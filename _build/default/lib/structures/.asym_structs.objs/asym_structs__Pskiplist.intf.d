@@ -1,0 +1,1 @@
+lib/structures/pskiplist.mli: Asym_core Asym_util Ds_intf

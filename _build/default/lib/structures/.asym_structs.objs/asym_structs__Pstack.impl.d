@@ -1,0 +1,1 @@
+lib/structures/pstack.ml: Asym_core Bytes Ds_intf Fmt Fun Int32 Int64 List Log Store Types

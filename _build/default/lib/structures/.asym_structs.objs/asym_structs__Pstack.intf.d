@@ -1,0 +1,1 @@
+lib/structures/pstack.mli: Asym_core Ds_intf

@@ -1,0 +1,1 @@
+lib/structures/registry.ml: Asym_core Fmt Hashtbl List Log Types

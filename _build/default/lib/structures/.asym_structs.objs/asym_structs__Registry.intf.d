@@ -1,0 +1,1 @@
+lib/structures/registry.mli: Asym_core

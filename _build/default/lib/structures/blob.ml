@@ -1,0 +1,30 @@
+(** Out-of-line value storage.
+
+    The ordered structures keep an 8-byte pointer to a value blob
+    ([len: u32][bytes]) instead of inlining the value, so updating a value
+    never changes node geometry: allocate a new blob, swing the pointer,
+    release the old blob. *)
+
+open Asym_core
+
+module Make (S : Store.S) = struct
+  let alloc s ~ds value =
+    let len = Bytes.length value in
+    let addr = S.malloc s (4 + len) in
+    let b = Bytes.create (4 + len) in
+    Bytes.set_int32_le b 0 (Int32.of_int len);
+    Bytes.blit value 0 b 4 len;
+    S.write s ~ds ~addr b;
+    addr
+
+  let read ?(hint = `Hot) s addr =
+    let len = Int32.to_int (Bytes.get_int32_le (S.read ~hint s ~addr ~len:4) 0) in
+    S.read ~hint s ~addr:(addr + 4) ~len
+
+  let size ?(hint = `Hot) s addr =
+    4 + Int32.to_int (Bytes.get_int32_le (S.read ~hint s ~addr ~len:4) 0)
+
+  let free s addr =
+    let total = size s addr in
+    S.free s addr ~len:total
+end

@@ -1,0 +1,15 @@
+(** Out-of-line value storage: a value blob is [[len: u32][bytes]].
+
+    The ordered structures keep an 8-byte blob pointer in the node instead
+    of the value, so updating a value never changes node geometry —
+    allocate a new blob, swing the pointer, release the old one. *)
+
+module Make (S : Asym_core.Store.S) : sig
+  val alloc : S.t -> ds:Asym_core.Types.ds_id -> bytes -> Asym_core.Types.addr
+  val read : ?hint:[ `Hot | `Cold ] -> S.t -> Asym_core.Types.addr -> bytes
+
+  val size : ?hint:[ `Hot | `Cold ] -> S.t -> Asym_core.Types.addr -> int
+  (** Total on-media footprint (header + payload), as {!free} releases. *)
+
+  val free : S.t -> Asym_core.Types.addr -> unit
+end

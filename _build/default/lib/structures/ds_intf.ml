@@ -1,0 +1,28 @@
+(** Conventions shared by the persistent data structures (§8).
+
+    Every structure is a functor over {!Asym_core.Store.S}, so the same
+    implementation runs on the AsymNVM front-end and on the symmetric
+    baseline. Keys are [int64]; values are byte strings.
+
+    Operation-type codes are per-structure and live in each module; codes
+    0 (initialization) and >= 250 (framework lock records) are reserved.
+
+    Recovery: every structure exposes [replay] which re-executes one
+    operation-log record (§7.2 Cases 2.b/2.c). Re-execution runs the
+    normal operation path, producing fresh logs. *)
+
+type key = int64
+
+(** Creation-time options common to the structures. *)
+type options = {
+  shared : bool;
+      (** multiple front-ends access the structure: writers must flush
+          before unlocking, readers must validate optimistically *)
+  use_lock : bool;
+      (** take the exclusive writer lock around every mutation (§6.1) —
+          the lock-based structures of the paper's evaluation *)
+}
+
+let default_options = { shared = false; use_lock = false }
+let locked_options = { shared = false; use_lock = true }
+let shared_options = { shared = true; use_lock = true }

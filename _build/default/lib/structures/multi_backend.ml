@@ -1,0 +1,71 @@
+(** One front-end node operating a structure spread over several back-end
+    NVM blades (§4.3: "To support a data structure larger than the
+    capacity of the NVM in a single back-end node, AsymNVM supports a
+    distributed data structure partitioning across multiple back-ends").
+
+    The front-end opens one connection (one {!Asym_core.Client}) per
+    back-end, all sharing its clock; keys route by hash exactly as
+    {!Partition}; the partition count is persisted in back-end 0's naming
+    space so recovery and other front-ends route identically. *)
+
+open Asym_core
+
+type 'ds t = {
+  clients : Client.t array;
+  parts : 'ds array;
+  name : string;
+}
+
+let hash key n =
+  let z = Int64.mul (Int64.logxor key (Int64.shift_right_logical key 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int n))
+
+let create ?(cfg = Client.rcb ()) ?(name = "mb") ~clock ~backends ~attach () =
+  let backends = Array.of_list backends in
+  let n = Array.length backends in
+  if n = 0 then invalid_arg "Multi_backend.create: no back-ends";
+  let clients =
+    Array.mapi
+      (fun _i bk ->
+        Client.connect ~name:(Printf.sprintf "%s->%s" name (Backend.name bk)) cfg bk ~clock)
+      backends
+  in
+  (* Persist (or read back) the partition count on back-end 0. *)
+  let h = Client.register_ds clients.(0) (name ^ "!pmap") in
+  let persisted = Client.read_u64 ~hint:`Hot clients.(0) h.Types.root in
+  let n =
+    if persisted = 0L then begin
+      Client.write_u64 clients.(0) ~ds:h.Types.id h.Types.root (Int64.of_int n);
+      Client.flush clients.(0);
+      n
+    end
+    else begin
+      let p = Int64.to_int persisted in
+      if p > n then
+        invalid_arg
+          (Printf.sprintf "Multi_backend.create: map says %d partitions, only %d back-ends" p n);
+      p
+    end
+  in
+  let parts = Array.init n (fun i -> attach clients.(i) i) in
+  { clients; parts; name }
+
+let npartitions t = Array.length t.parts
+let route t key = t.parts.(hash key (Array.length t.parts))
+let part t i = t.parts.(i)
+let client t i = t.clients.(i)
+let iter_parts t f = Array.iteri f t.parts
+
+let flush_all t = Array.iter Client.flush t.clients
+
+(* Crash every connection's volatile state and recover each partition,
+   handing the uncovered operations of partition [i] to [replay i]. *)
+let crash t = Array.iter Client.crash t.clients
+
+let recover t ~replay =
+  Array.iteri
+    (fun i c ->
+      let ops = Client.recover c in
+      replay i ops)
+    t.clients

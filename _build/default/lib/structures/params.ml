@@ -1,0 +1,43 @@
+(** Operation-log parameter encodings shared by the key/value structures. *)
+
+open Asym_util
+
+let of_key key =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 key;
+  b
+
+let to_key b = Bytes.get_int64_le b 0
+
+let of_kv key value =
+  let e = Codec.Enc.create ~capacity:(12 + Bytes.length value) () in
+  Codec.Enc.u64 e key;
+  Codec.Enc.u32i e (Bytes.length value);
+  Codec.Enc.bytes e value;
+  Codec.Enc.to_bytes e
+
+let to_kv b =
+  let d = Codec.Dec.of_bytes b in
+  let key = Codec.Dec.u64 d in
+  let len = Codec.Dec.u32i d in
+  (key, Codec.Dec.bytes d len)
+
+(* A sorted vector of key/value pairs (vector operations, §8.3). *)
+let of_kvs pairs =
+  let e = Codec.Enc.create () in
+  Codec.Enc.u32i e (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      Codec.Enc.u64 e k;
+      Codec.Enc.u32i e (Bytes.length v);
+      Codec.Enc.bytes e v)
+    pairs;
+  Codec.Enc.to_bytes e
+
+let to_kvs b =
+  let d = Codec.Dec.of_bytes b in
+  let n = Codec.Dec.u32i d in
+  List.init n (fun _ ->
+      let k = Codec.Dec.u64 d in
+      let len = Codec.Dec.u32i d in
+      (k, Codec.Dec.bytes d len))

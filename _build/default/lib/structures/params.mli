@@ -1,0 +1,10 @@
+(** Operation-log parameter encodings shared by the key/value structures:
+    a bare key, a key/value pair, and the sorted key/value vector used by
+    the §8.3 vector operations. *)
+
+val of_key : int64 -> bytes
+val to_key : bytes -> int64
+val of_kv : int64 -> bytes -> bytes
+val to_kv : bytes -> int64 * bytes
+val of_kvs : (int64 * bytes) list -> bytes
+val to_kvs : bytes -> (int64 * bytes) list

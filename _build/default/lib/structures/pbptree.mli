@@ -1,0 +1,34 @@
+(** Persistent B+Tree (lock-based, §8.3), fan-out 32.
+
+    Fixed 512-byte nodes, values in out-of-line blobs, leaves chained for
+    range scans. Deletion is leaf-local (no rebalancing — emptied leaves
+    stay linked, the relaxed structure log-structured stores use), which
+    keeps lookups exact while bounding write amplification. Upper levels
+    are read through the cache with the adaptive §8.3 depth threshold. *)
+
+val op_put : int
+val op_delete : int
+val op_vinsert : int
+
+val fanout : int
+val max_keys : int
+
+module Make (S : Asym_core.Store.S) : sig
+  type t
+
+  val attach : ?opts:Ds_intf.options -> ?cache_all_levels:bool -> S.t -> name:string -> t
+  val handle : t -> Asym_core.Types.handle
+  val put : t -> key:int64 -> value:bytes -> unit
+  val find : t -> key:int64 -> bytes option
+  val mem : t -> key:int64 -> bool
+  val delete : t -> key:int64 -> bool
+
+  val insert_vector : t -> (int64 * bytes) list -> unit
+  (** Algorithm 3 applied to the B+Tree: one lock, one vector op log. *)
+
+  val range : t -> lo:int64 -> hi:int64 -> (int64 * bytes) list
+  (** Inclusive range scan along the leaf chain. *)
+
+  val to_list : t -> (int64 * bytes) list
+  val replay : t -> Asym_core.Log.Op_entry.t -> unit
+end

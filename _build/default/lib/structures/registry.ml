@@ -1,0 +1,22 @@
+(** Recovery dispatch: maps a data-structure id to its replay function.
+
+    After a front-end crash, {!Asym_core.Client.recover} returns the
+    operation-log records whose memory logs never became durable; the
+    application replays them through the owning structure (§7.2). *)
+
+open Asym_core
+
+type t = (Types.ds_id, Log.Op_entry.t -> unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+let register t ~ds f = Hashtbl.replace t ds f
+
+let replay_all t ops =
+  List.iter
+    (fun (op : Log.Op_entry.t) ->
+      match Hashtbl.find_opt t op.Log.Op_entry.ds with
+      | Some f -> f op
+      | None ->
+          Fmt.invalid_arg "Registry.replay_all: no replay function for ds %d"
+            op.Log.Op_entry.ds)
+    ops

@@ -1,0 +1,21 @@
+(** Recovery dispatch: maps a data-structure id to its replay function.
+
+    After a front-end crash, {!Asym_core.Client.recover} returns the
+    operation-log records whose memory logs never became durable; the
+    application replays them through the owning structure (§7.2 Cases
+    2.b/2.c). Typical use:
+
+    {[
+      let reg = Registry.create () in
+      Registry.register reg ~ds:(Bpt.handle tree).id (Bpt.replay tree);
+      Registry.replay_all reg (Client.recover fe)
+    ]} *)
+
+type t
+
+val create : unit -> t
+val register : t -> ds:Asym_core.Types.ds_id -> (Asym_core.Log.Op_entry.t -> unit) -> unit
+
+val replay_all : t -> Asym_core.Log.Op_entry.t list -> unit
+(** Replays in list (operation-number) order. Raises [Invalid_argument]
+    on a record whose structure has no registered handler. *)

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Bytes Int32 Int64 Printf String

@@ -1,0 +1,68 @@
+module Running = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let percentile a p =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then s.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+
+module Histogram = struct
+  type t = { bounds : float array; counts : int array; mutable total : int }
+
+  let create ~buckets =
+    let n = Array.length buckets in
+    for i = 1 to n - 1 do
+      assert (buckets.(i) > buckets.(i - 1))
+    done;
+    { bounds = buckets; counts = Array.make (n + 1) 0; total = 0 }
+
+  let add t x =
+    let n = Array.length t.bounds in
+    let rec find i = if i >= n then n else if x <= t.bounds.(i) then i else find (i + 1) in
+    let i = find 0 in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let counts t =
+    Array.mapi
+      (fun i c -> ((if i < Array.length t.bounds then t.bounds.(i) else infinity), c))
+      t.counts
+
+  let total t = t.total
+end

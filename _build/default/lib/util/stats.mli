@@ -1,0 +1,34 @@
+(** Small statistics toolkit for experiment reporting. *)
+
+module Running : sig
+  (** Online mean/variance accumulator (Welford). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+val mean : float array -> float
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]]; sorts a copy. *)
+
+module Histogram : sig
+  type t
+
+  val create : buckets:float array -> t
+  (** [buckets] are upper bounds in increasing order; an implicit +inf
+      bucket is appended. *)
+
+  val add : t -> float -> unit
+  val counts : t -> (float * int) array
+  (** Pairs of (upper bound, count); the last bound is [infinity]. *)
+
+  val total : t -> int
+end

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Asym_util Bytes Int64 Rng Zipf

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Asym_util Bytes Int64 Printf Rng Zipf

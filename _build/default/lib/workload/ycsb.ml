@@ -1,0 +1,55 @@
+open Asym_util
+
+type distribution = Uniform | Zipfian of float
+
+let distribution_name = function
+  | Uniform -> "uniform"
+  | Zipfian theta -> Printf.sprintf "zipf(%.2f)" theta
+
+type op = Put of int64 * bytes | Get of int64
+
+type t = {
+  rng : Rng.t;
+  keyspace : int;
+  put_ratio : float;
+  value_size : int;
+  zipf : Zipf.t option;
+}
+
+let create ?(value_size = 64) ~distribution ~keyspace ~put_ratio rng =
+  assert (keyspace > 0 && put_ratio >= 0.0 && put_ratio <= 1.0);
+  let zipf =
+    match distribution with
+    | Uniform -> None
+    | Zipfian theta -> Some (Zipf.create ~theta ~n:keyspace (Rng.split rng))
+  in
+  { rng; keyspace; put_ratio; value_size; zipf }
+
+let key t =
+  match t.zipf with
+  | None -> Int64.of_int (Rng.int t.rng t.keyspace)
+  | Some z -> Int64.of_int (Zipf.next_scrambled z)
+
+let next t =
+  let k = key t in
+  if Rng.float t.rng < t.put_ratio then begin
+    let v = Bytes.create t.value_size in
+    Bytes.set_int64_le v 0 k;
+    Put (k, v)
+  end
+  else Get k
+
+type preset = A | B | C | D | F
+
+let preset_name = function A -> "A" | B -> "B" | C -> "C" | D -> "D" | F -> "F"
+
+let of_preset ?value_size preset ~keyspace rng =
+  let distribution, put_ratio =
+    match preset with
+    | A -> (Zipfian 0.99, 0.5)
+    | B -> (Zipfian 0.99, 0.05)
+    | C -> (Zipfian 0.99, 0.0)
+    | D -> (Uniform, 0.05)
+    | F -> (Zipfian 0.99, 0.5)
+  in
+  create ?value_size ~distribution ~keyspace ~put_ratio rng

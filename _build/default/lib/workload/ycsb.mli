@@ -1,0 +1,42 @@
+(** YCSB-style workload generation (paper §9.6, Figure 12).
+
+    Produces keyed operations with a configurable key distribution
+    (uniform or Zipf with the paper's parameters .5/.9/.99) and a
+    configurable put/get mix (Figure 13's 100/50/75/10/0 % put points). *)
+
+type distribution = Uniform | Zipfian of float
+
+val distribution_name : distribution -> string
+
+type op = Put of int64 * bytes | Get of int64
+
+type t
+
+val create :
+  ?value_size:int ->
+  distribution:distribution ->
+  keyspace:int ->
+  put_ratio:float ->
+  Asym_util.Rng.t ->
+  t
+(** [put_ratio] in [\[0, 1\]]; [value_size] defaults to the paper's 64 B. *)
+
+val next : t -> op
+val key : t -> int64
+(** Just a key from the configured distribution. *)
+
+(** {2 Standard YCSB core workloads}
+
+    The canonical presets, expressed as (distribution, put_ratio):
+    - A: update heavy, 50/50, Zipfian
+    - B: read mostly, 95/5, Zipfian
+    - C: read only, Zipfian
+    - D: read latest — approximated here as read-mostly uniform
+    - F: read-modify-write, 50/50, Zipfian
+    (E, the scan workload, is exercised through the structures' [range]
+    operations instead of this generator.) *)
+
+type preset = A | B | C | D | F
+
+val preset_name : preset -> string
+val of_preset : ?value_size:int -> preset -> keyspace:int -> Asym_util.Rng.t -> t

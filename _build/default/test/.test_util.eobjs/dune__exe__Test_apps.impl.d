@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Asym_apps Asym_baseline Asym_core Asym_sim Asym_structs Asym_util Backend Bytes Client Clock Int64 Latency Printf Types

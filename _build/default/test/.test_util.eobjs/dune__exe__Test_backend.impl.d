@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Asym_core Asym_nvm Asym_sim Backend Backend_alloc Bytes Char Client Clock Int64 Latency Layout List Naming Simtime String Timeline Types

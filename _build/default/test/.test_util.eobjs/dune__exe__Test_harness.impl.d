@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Asym_baseline Asym_core Asym_harness Asym_sim Experiments Format List Multiclient Report Runner String

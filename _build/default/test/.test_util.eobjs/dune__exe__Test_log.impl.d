@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Asym_core Bytes Int64 List Log QCheck QCheck_alcotest String

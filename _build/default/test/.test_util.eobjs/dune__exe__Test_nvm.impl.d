@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Asym_nvm Asym_sim Bytes Device Gen QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rdma.ml: Alcotest Asym_nvm Asym_rdma Asym_sim Bytes Clock Device Latency Timeline Verbs

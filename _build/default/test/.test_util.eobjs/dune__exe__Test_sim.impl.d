@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Asym_sim Clock Conflict Format Latency List QCheck QCheck_alcotest Sched Simtime Timeline

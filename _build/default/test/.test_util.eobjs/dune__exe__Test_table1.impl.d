@@ -1,0 +1,1 @@
+test/test_table1.ml: Alcotest Asym_core Asym_nvm Asym_sim Asym_structs Backend Bytes Client Clock Gen Latency Layout List Log QCheck QCheck_alcotest Rpc_msg Simtime Types

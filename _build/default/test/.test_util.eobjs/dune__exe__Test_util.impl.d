@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Asym_util Bytes Codec Crc32 Int64 List QCheck QCheck_alcotest Rng Stats Zipf

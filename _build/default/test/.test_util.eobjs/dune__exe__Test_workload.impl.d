@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Asym_util Asym_workload Bytes Hashtbl Int64 Option Trace Ycsb

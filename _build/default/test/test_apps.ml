@@ -1,0 +1,213 @@
+open Asym_sim
+open Asym_core
+
+let check = Alcotest.check
+let lat = Latency.default
+
+let mk_backend () =
+  Backend.create ~name:"bk" ~max_sessions:4 ~memlog_cap:(1024 * 1024) ~oplog_cap:(512 * 1024)
+    ~slab_size:4096 ~capacity:(48 * 1024 * 1024) lat
+
+let mk_client ?(cfg = Client.rc ()) bk =
+  Client.connect ~name:"app" cfg bk ~clock:(Clock.create ~name:"app" ())
+
+module Bank = Asym_apps.Smallbank.Make (Client)
+module Bank_l = Asym_apps.Smallbank.Make (Asym_baseline.Local_store)
+module Tatp = Asym_apps.Tatp.Make (Client)
+
+(* ---------------- SmallBank ---------------- *)
+
+let mk_bank ?(accounts = 50) () =
+  let fe = mk_client (mk_backend ()) in
+  (fe, Bank.create fe ~name:"bank" ~accounts ~initial_balance:100L)
+
+let test_bank_balance () =
+  let _, b = mk_bank () in
+  check (Alcotest.option Alcotest.int64) "initial total" (Some 200L) (Bank.balance b ~cust:3L);
+  check (Alcotest.option Alcotest.int64) "missing account" None (Bank.balance b ~cust:999L)
+
+let test_bank_deposit () =
+  let _, b = mk_bank () in
+  check Alcotest.bool "deposit ok" true (Bank.deposit_checking b ~cust:1L ~amount:50L);
+  check (Alcotest.option Alcotest.int64) "new total" (Some 250L) (Bank.balance b ~cust:1L);
+  check Alcotest.bool "negative rejected" false (Bank.deposit_checking b ~cust:1L ~amount:(-5L));
+  check Alcotest.bool "missing rejected" false (Bank.deposit_checking b ~cust:999L ~amount:5L)
+
+let test_bank_transact_savings () =
+  let _, b = mk_bank () in
+  check Alcotest.bool "withdraw ok" true (Bank.transact_savings b ~cust:2L ~amount:(-40L));
+  check (Alcotest.option Alcotest.int64) "total reduced" (Some 160L) (Bank.balance b ~cust:2L);
+  check Alcotest.bool "overdraft rejected" false (Bank.transact_savings b ~cust:2L ~amount:(-100L));
+  check (Alcotest.option Alcotest.int64) "unchanged" (Some 160L) (Bank.balance b ~cust:2L)
+
+let test_bank_send_payment () =
+  let _, b = mk_bank () in
+  check Alcotest.bool "payment ok" true (Bank.send_payment b ~from_cust:1L ~to_cust:2L ~amount:30L);
+  check (Alcotest.option Alcotest.int64) "sender" (Some 170L) (Bank.balance b ~cust:1L);
+  check (Alcotest.option Alcotest.int64) "receiver" (Some 230L) (Bank.balance b ~cust:2L);
+  check Alcotest.bool "insufficient funds" false
+    (Bank.send_payment b ~from_cust:1L ~to_cust:2L ~amount:1000L);
+  check Alcotest.bool "self payment rejected" false
+    (Bank.send_payment b ~from_cust:1L ~to_cust:1L ~amount:10L)
+
+let test_bank_amalgamate () =
+  let _, b = mk_bank () in
+  check Alcotest.bool "amalgamate ok" true (Bank.amalgamate b ~from_cust:1L ~to_cust:2L);
+  check (Alcotest.option Alcotest.int64) "source emptied" (Some 0L) (Bank.balance b ~cust:1L);
+  check (Alcotest.option Alcotest.int64) "target doubled+" (Some 400L) (Bank.balance b ~cust:2L);
+  check Alcotest.bool "self amalgamate rejected" false (Bank.amalgamate b ~from_cust:3L ~to_cust:3L)
+
+let test_bank_write_check_penalty () =
+  let _, b = mk_bank () in
+  (* Check below assets: no penalty. *)
+  check Alcotest.bool "ok" true (Bank.write_check b ~cust:1L ~amount:50L);
+  check (Alcotest.option Alcotest.int64) "reduced" (Some 150L) (Bank.balance b ~cust:1L);
+  (* Check above assets: 1 cent penalty. *)
+  check Alcotest.bool "overdraft ok" true (Bank.write_check b ~cust:1L ~amount:200L);
+  check (Alcotest.option Alcotest.int64) "penalized" (Some (Int64.of_int (150 - 200 - 1)))
+    (Bank.balance b ~cust:1L)
+
+let test_bank_conservation_under_random_mix () =
+  let accounts = 30 in
+  let fe, b = mk_bank ~accounts () in
+  let conserving =
+    Asym_apps.Smallbank.[ (Amalgamate, 30); (Balance, 20); (Send_payment, 50) ]
+  in
+  let rng = Asym_util.Rng.create ~seed:11L in
+  for _ = 1 to 2_000 do
+    Bank.run_random b rng ~accounts ~mix:conserving
+  done;
+  Client.flush fe;
+  check Alcotest.int64 "money conserved"
+    (Int64.of_int (accounts * 200))
+    (Bank.total_assets b ~accounts)
+
+let test_bank_recovery_mid_run () =
+  let accounts = 20 in
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:16 ()) bk in
+  let b = Bank.create fe ~name:"bank" ~accounts ~initial_balance:100L in
+  Client.flush fe;
+  let conserving = Asym_apps.Smallbank.[ (Amalgamate, 40); (Send_payment, 60) ] in
+  let rng = Asym_util.Rng.create ~seed:13L in
+  for _ = 1 to 333 do
+    Bank.run_random b rng ~accounts ~mix:conserving
+  done;
+  (* Crash with a partial batch; replay; money must be conserved. *)
+  Client.crash fe;
+  let ops = Client.recover fe in
+  let b = Bank.attach fe ~name:"bank" in
+  (* Replay through the two hash tables' own replay functions. *)
+  let module H = Asym_structs.Phash.Make (Client) in
+  let reg = Asym_structs.Registry.create () in
+  Asym_structs.Registry.register reg ~ds:(H.handle (Bank.checking b)).Types.id
+    (H.replay (Bank.checking b));
+  Asym_structs.Registry.register reg ~ds:(H.handle (Bank.savings b)).Types.id
+    (H.replay (Bank.savings b));
+  Asym_structs.Registry.replay_all reg ops;
+  Client.flush fe;
+  check Alcotest.int64 "money conserved across crash"
+    (Int64.of_int (accounts * 200))
+    (Bank.total_assets b ~accounts)
+
+let test_bank_on_symmetric_baseline () =
+  let s = Asym_baseline.Local_store.create lat ~clock:(Clock.create ~name:"sym" ()) in
+  let b = Bank_l.create s ~name:"bank" ~accounts:10 ~initial_balance:100L in
+  check Alcotest.bool "works" true (Bank_l.send_payment b ~from_cust:0L ~to_cust:1L ~amount:5L);
+  check Alcotest.int64 "conserved" 2000L (Bank_l.total_assets b ~accounts:10)
+
+(* ---------------- TATP ---------------- *)
+
+let mk_tatp ?(subscribers = 40) () =
+  let fe = mk_client (mk_backend ()) in
+  let t = Tatp.attach fe ~name:"tatp" in
+  Tatp.populate t (Asym_util.Rng.create ~seed:5L) ~subscribers;
+  (fe, t)
+
+let test_tatp_get_subscriber () =
+  let _, t = mk_tatp () in
+  (match Tatp.get_subscriber_data t ~s_id:7 with
+  | Some r ->
+      check Alcotest.int64 "s_id field" 7L (Bytes.get_int64_le r 0);
+      check Alcotest.string "sub_nbr" (Printf.sprintf "%015d" 7) (Bytes.sub_string r 24 15)
+  | None -> Alcotest.fail "subscriber 7 missing");
+  check Alcotest.bool "missing subscriber" true (Tatp.get_subscriber_data t ~s_id:9999 = None)
+
+let test_tatp_access_data () =
+  let _, t = mk_tatp () in
+  (* ai_type 1 always exists (populate creates 1..n with n >= 1). *)
+  match Tatp.get_access_data t ~s_id:3 ~ai_type:1 with
+  | Some r -> check Alcotest.string "record shape" "ai01" (Bytes.sub_string r 0 4)
+  | None -> Alcotest.fail "access info missing"
+
+let test_tatp_update_location () =
+  let _, t = mk_tatp () in
+  check Alcotest.bool "update ok" true (Tatp.update_location t ~s_id:5 ~vlr:424242);
+  match Tatp.get_subscriber_data t ~s_id:5 with
+  | Some r -> check Alcotest.int64 "vlr updated" 424242L (Bytes.get_int64_le r 16)
+  | None -> Alcotest.fail "subscriber missing"
+
+let test_tatp_update_subscriber_data () =
+  let _, t = mk_tatp () in
+  (* sf_type 1 always exists. *)
+  check Alcotest.bool "update ok" true (Tatp.update_subscriber_data t ~s_id:2 ~sf_type:1 ~bits:99);
+  match Tatp.get_subscriber_data t ~s_id:2 with
+  | Some r -> check Alcotest.int64 "bits updated" 99L (Bytes.get_int64_le r 8)
+  | None -> Alcotest.fail "subscriber missing"
+
+let test_tatp_call_forwarding_lifecycle () =
+  let _, t = mk_tatp () in
+  (* Find a subscriber/sf with no call forwarding at slot 0, insert, get,
+     duplicate-insert must abort, delete, delete again must abort. *)
+  let s_id = 1 and sf_type = 1 and start_time = 0 in
+  ignore (Tatp.delete_call_forwarding t ~s_id ~sf_type ~start_time);
+  check Alcotest.bool "insert ok" true
+    (Tatp.insert_call_forwarding t ~s_id ~sf_type ~start_time ~numberx:5551234);
+  (match Tatp.get_new_destination t ~s_id ~sf_type ~start_time with
+  | Some r -> check Alcotest.string "destination" "cf->000000005551234" (Bytes.to_string r)
+  | None -> Alcotest.fail "destination missing");
+  check Alcotest.bool "duplicate insert aborts" false
+    (Tatp.insert_call_forwarding t ~s_id ~sf_type ~start_time ~numberx:1);
+  check Alcotest.bool "delete ok" true (Tatp.delete_call_forwarding t ~s_id ~sf_type ~start_time);
+  check Alcotest.bool "delete again aborts" false
+    (Tatp.delete_call_forwarding t ~s_id ~sf_type ~start_time)
+
+let test_tatp_random_mix_runs () =
+  let fe, t = mk_tatp ~subscribers:30 () in
+  let rng = Asym_util.Rng.create ~seed:17L in
+  for _ = 1 to 2_000 do
+    Tatp.run_random t rng ~subscribers:30 ~mix:Asym_apps.Tatp.default_mix
+  done;
+  Client.flush fe;
+  check Alcotest.int "all transactions accounted" 2000 (Tatp.commits t + Tatp.aborts t);
+  (* The mix is read-heavy; lookups of rows the spec populates sparsely
+     (access-info types, call-forwarding slots) abort, so the commit rate
+     sits well above half but below the read fraction. *)
+  check Alcotest.bool "mostly commits" true (Tatp.commits t > 1100)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "smallbank",
+        [
+          Alcotest.test_case "balance" `Quick test_bank_balance;
+          Alcotest.test_case "deposit" `Quick test_bank_deposit;
+          Alcotest.test_case "transact savings" `Quick test_bank_transact_savings;
+          Alcotest.test_case "send payment" `Quick test_bank_send_payment;
+          Alcotest.test_case "amalgamate" `Quick test_bank_amalgamate;
+          Alcotest.test_case "write check penalty" `Quick test_bank_write_check_penalty;
+          Alcotest.test_case "conservation" `Quick test_bank_conservation_under_random_mix;
+          Alcotest.test_case "recovery mid-run" `Quick test_bank_recovery_mid_run;
+          Alcotest.test_case "symmetric baseline" `Quick test_bank_on_symmetric_baseline;
+        ] );
+      ( "tatp",
+        [
+          Alcotest.test_case "get subscriber" `Quick test_tatp_get_subscriber;
+          Alcotest.test_case "get access data" `Quick test_tatp_access_data;
+          Alcotest.test_case "update location" `Quick test_tatp_update_location;
+          Alcotest.test_case "update subscriber" `Quick test_tatp_update_subscriber_data;
+          Alcotest.test_case "call forwarding lifecycle" `Quick
+            test_tatp_call_forwarding_lifecycle;
+          Alcotest.test_case "random mix" `Quick test_tatp_random_mix_runs;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+open Asym_sim
+open Asym_core
+
+let check = Alcotest.check
+let lat = Latency.default
+let cap = 8 * 1024 * 1024
+
+let mk_backend ?(memlog_cap = 256 * 1024) ?(oplog_cap = 128 * 1024) ?(slab_size = 1024) () =
+  Backend.create ~name:"bk" ~max_sessions:4 ~memlog_cap ~oplog_cap ~slab_size ~capacity:cap lat
+
+let mk_client ?(cfg = Client.r ()) ?(name = "fe") bk =
+  let clk = Clock.create ~name () in
+  (Client.connect ~name cfg bk ~clock:clk, clk)
+
+(* -- layout -------------------------------------------------------------- *)
+
+let test_layout_roundtrip () =
+  let bk = mk_backend () in
+  let l = Backend.layout bk in
+  let l' = Layout.load (Backend.device bk) in
+  check Alcotest.bool "layout survives store/load" true (l = l')
+
+let test_layout_too_small () =
+  Alcotest.check_raises "tiny capacity rejected"
+    (Invalid_argument "Layout.compute: capacity too small for fixed areas") (fun () ->
+      ignore (Layout.compute ~capacity:4096 ~max_sessions:2 ()))
+
+let test_layout_areas_disjoint () =
+  let l = Backend.layout (mk_backend ()) in
+  let open Layout in
+  check Alcotest.bool "ordering" true
+    (l.naming_base < l.sessions_base
+    && l.sessions_base < l.meta_base
+    && l.meta_base < l.bitmap_base
+    && l.bitmap_base < l.memlog_base
+    && l.memlog_base < l.oplog_base
+    && l.oplog_base < l.data_base
+    && l.data_base + (l.n_slabs * l.slab_size) <= l.capacity)
+
+(* -- naming --------------------------------------------------------------- *)
+
+let test_naming_persistence () =
+  let bk = mk_backend () in
+  let dev = Backend.device bk in
+  let l = Backend.layout bk in
+  let n = Naming.load dev ~base:l.Layout.naming_base ~len:l.Layout.naming_len in
+  Naming.set n "tree-a" Types.Root 4242;
+  Naming.set n "tree-a.lock" Types.Lock 4250;
+  let n' = Naming.load dev ~base:l.Layout.naming_base ~len:l.Layout.naming_len in
+  check Alcotest.bool "found root" true (Naming.find n' "tree-a" = Some (Types.Root, 4242));
+  check Alcotest.bool "found lock" true (Naming.find n' "tree-a.lock" = Some (Types.Lock, 4250));
+  check Alcotest.bool "missing is none" true (Naming.find n' "nope" = None)
+
+let test_naming_remove () =
+  let bk = mk_backend () in
+  let dev = Backend.device bk in
+  let l = Backend.layout bk in
+  let n = Naming.load dev ~base:l.Layout.naming_base ~len:l.Layout.naming_len in
+  Naming.set n "x" Types.Meta 1;
+  Naming.remove n "x";
+  let n' = Naming.load dev ~base:l.Layout.naming_base ~len:l.Layout.naming_len in
+  check Alcotest.bool "removed" true (Naming.find n' "x" = None)
+
+(* -- slab allocator --------------------------------------------------------- *)
+
+let test_backend_alloc_basic () =
+  let bk = mk_backend () in
+  let dev = Backend.device bk in
+  let l = Backend.layout bk in
+  let a = Backend_alloc.load dev l in
+  let x = Backend_alloc.alloc a ~slabs:1 in
+  let y = Backend_alloc.alloc a ~slabs:1 in
+  check Alcotest.bool "distinct" true (x <> y && x <> None && y <> None);
+  (match x with
+  | Some addr ->
+      Backend_alloc.free a ~addr ~slabs:1;
+      Alcotest.check_raises "double free"
+        (Invalid_argument "Backend_alloc.free: double free") (fun () ->
+          Backend_alloc.free a ~addr ~slabs:1)
+  | None -> Alcotest.fail "alloc failed")
+
+let test_backend_alloc_contiguous () =
+  let bk = mk_backend () in
+  let a = Backend_alloc.load (Backend.device bk) (Backend.layout bk) in
+  match Backend_alloc.alloc a ~slabs:8 with
+  | None -> Alcotest.fail "run alloc failed"
+  | Some addr ->
+      let l = Backend.layout bk in
+      check Alcotest.int "aligned" 0 ((addr - l.Layout.data_base) mod l.Layout.slab_size);
+      Backend_alloc.free a ~addr ~slabs:8;
+      check Alcotest.int "all back" 0 (Backend_alloc.used_slabs a)
+
+let test_backend_alloc_exhaustion_and_recovery_from_bitmap () =
+  let bk = mk_backend () in
+  let dev = Backend.device bk in
+  let l = Backend.layout bk in
+  let a = Backend_alloc.load dev l in
+  let n = Backend_alloc.total_slabs a in
+  for _ = 1 to n do
+    match Backend_alloc.alloc a ~slabs:1 with
+    | Some _ -> ()
+    | None -> Alcotest.fail "premature exhaustion"
+  done;
+  check Alcotest.bool "now exhausted" true (Backend_alloc.alloc a ~slabs:1 = None);
+  (* A reloaded allocator must agree: the bitmap is the durable truth. *)
+  let a' = Backend_alloc.load dev l in
+  check Alcotest.int "used persisted" n (Backend_alloc.used_slabs a');
+  check Alcotest.bool "still exhausted after reload" true (Backend_alloc.alloc a' ~slabs:1 = None)
+
+(* -- RPC / sessions ----------------------------------------------------------- *)
+
+let test_rpc_register_ds_idempotent () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let h1 = Client.register_ds fe "stack:s1" in
+  let h2 = Client.register_ds fe "stack:s1" in
+  check Alcotest.bool "same handle" true (h1 = h2);
+  let fe2, _ = mk_client ~name:"fe2" bk in
+  let h3 = Client.register_ds fe2 "stack:s1" in
+  check Alcotest.int "shared ds id" h1.Types.id h3.Types.id;
+  check Alcotest.int "shared root" h1.Types.root h3.Types.root
+
+let test_rpc_lookup_missing () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  check Alcotest.bool "missing" true (Client.lookup_ds fe "ghost" = None);
+  ignore (Client.register_ds fe "real");
+  check Alcotest.bool "present" true (Client.lookup_ds fe "real" <> None)
+
+let test_rpc_costs_time () =
+  let bk = mk_backend () in
+  let fe, clk = mk_client bk in
+  let before = Clock.now clk in
+  ignore (Client.register_ds fe "x");
+  check Alcotest.bool "rpc costs >= 2 rtt" true
+    (Clock.now clk - before >= 2 * lat.Latency.rdma_rtt_ns)
+
+let test_session_limit () =
+  let bk = mk_backend () in
+  let mk_ok () = try Some (fst (mk_client bk)) with Failure _ -> None in
+  (* max_sessions = 4 *)
+  let opened = List.filter_map (fun _ -> mk_ok ()) [ 1; 2; 3; 4; 5 ] in
+  check Alcotest.int "only 4 sessions" 4 (List.length opened);
+  (* Closing a session frees its slot for a new front-end. *)
+  (match opened with c :: _ -> Client.close c | [] -> ());
+  check Alcotest.bool "slot reusable after close" true (mk_ok () <> None)
+
+let test_close_guards_use_after () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let addr = Client.malloc fe 64 in
+  Client.close fe;
+  Alcotest.check_raises "use after close" (Failure "fe: client is crashed") (fun () ->
+      ignore (Client.read fe ~addr ~len:8))
+
+(* -- write path / drain --------------------------------------------------------- *)
+
+let test_logged_write_lands_in_data_area () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 64 in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write fe ~ds:h.Types.id ~addr (Bytes.of_string "hello-world");
+  (* Before flush: remote data area still empty, but our own read sees it. *)
+  check Alcotest.string "read own write" "hello-world"
+    (Bytes.to_string (Client.read fe ~addr ~len:11));
+  Client.op_end fe ~ds:h.Types.id;
+  (* batch_size = 1 -> op_end flushed and the backend replayed. *)
+  let dev = Backend.device bk in
+  check Alcotest.string "replayed into data area" "hello-world"
+    (Bytes.to_string (Asym_nvm.Device.read dev ~addr ~len:11));
+  check Alcotest.int "one tx replayed" 1 (Backend.replayed_txs bk)
+
+let test_batching_defers_replay () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client ~cfg:(Client.rcb ~batch_size:8 ()) bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 64 in
+  for i = 1 to 7 do
+    ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+    Client.write_u64 fe ~ds:h.Types.id (addr + (8 * (i mod 4))) (Int64.of_int i);
+    Client.op_end fe ~ds:h.Types.id
+  done;
+  check Alcotest.int "no tx yet" 0 (Backend.replayed_txs bk);
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write_u64 fe ~ds:h.Types.id addr 99L;
+  Client.op_end fe ~ds:h.Types.id;
+  check Alcotest.int "flushed at batch boundary" 1 (Backend.replayed_txs bk);
+  check Alcotest.int64 "value landed" 99L
+    (Asym_nvm.Device.read_u64 (Backend.device bk) ~addr)
+
+let test_seqno_bumped_twice_per_tx () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 8 in
+  check Alcotest.int64 "sn starts 0" 0L (Backend.seqno bk ~ds:h.Types.id);
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write_u64 fe ~ds:h.Types.id addr 1L;
+  Client.op_end fe ~ds:h.Types.id;
+  check Alcotest.int64 "sn even after tx" 2L (Backend.seqno bk ~ds:h.Types.id)
+
+let test_memlog_ring_wraps () =
+  let bk = mk_backend ~memlog_cap:4096 () in
+  let fe, _ = mk_client bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 256 in
+  (* Each op writes ~128 B of log; push enough to wrap the 4 KB ring. *)
+  for i = 1 to 200 do
+    ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+    Client.write fe ~ds:h.Types.id ~addr (Bytes.make 100 (Char.chr (i mod 256)));
+    Client.op_end fe ~ds:h.Types.id
+  done;
+  check Alcotest.int "all txs replayed" 200 (Backend.replayed_txs bk);
+  check Alcotest.string "last value wins"
+    (String.make 100 (Char.chr 200))
+    (Bytes.to_string (Asym_nvm.Device.read (Backend.device bk) ~addr ~len:100))
+
+let test_drain_busies_backend_cpu () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 64 in
+  let busy0 = Timeline.busy_total (Backend.cpu bk) in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write_u64 fe ~ds:h.Types.id addr 5L;
+  Client.op_end fe ~ds:h.Types.id;
+  check Alcotest.bool "cpu worked" true (Timeline.busy_total (Backend.cpu bk) > busy0)
+
+(* -- locks ------------------------------------------------------------------------ *)
+
+let test_writer_lock_serializes () =
+  let bk = mk_backend () in
+  let fe1, c1 = mk_client ~name:"w1" bk in
+  let fe2, c2 = mk_client ~name:"w2" bk in
+  let h = Client.register_ds fe1 "t" in
+  let h2 = Client.register_ds fe2 "t" in
+  Client.writer_lock fe1 h;
+  let t1 = Clock.now c1 in
+  (* Simulate fe1 holding the lock for 50 us of work. *)
+  Clock.advance c1 (Simtime.us 50);
+  Client.writer_unlock fe1 h;
+  ignore t1;
+  Client.writer_lock fe2 h2;
+  check Alcotest.bool "second writer waited" true (Clock.now c2 >= Clock.now c1 - Simtime.us 5);
+  Client.writer_unlock fe2 h2
+
+let test_conflict_window_recorded () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let h = Client.register_ds fe "t" in
+  let addr = Client.malloc fe 8 in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write_u64 fe ~ds:h.Types.id addr 1L;
+  Client.op_end fe ~ds:h.Types.id;
+  check Alcotest.bool "window exists" true
+    (Backend.conflict_overlaps bk ~ds:h.Types.id ~start_:0 ~stop:max_int)
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "store/load roundtrip" `Quick test_layout_roundtrip;
+          Alcotest.test_case "too small rejected" `Quick test_layout_too_small;
+          Alcotest.test_case "areas disjoint" `Quick test_layout_areas_disjoint;
+        ] );
+      ( "naming",
+        [
+          Alcotest.test_case "persistence" `Quick test_naming_persistence;
+          Alcotest.test_case "remove" `Quick test_naming_remove;
+        ] );
+      ( "slab-alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_backend_alloc_basic;
+          Alcotest.test_case "contiguous runs" `Quick test_backend_alloc_contiguous;
+          Alcotest.test_case "exhaustion + bitmap recovery" `Quick
+            test_backend_alloc_exhaustion_and_recovery_from_bitmap;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "register_ds idempotent" `Quick test_rpc_register_ds_idempotent;
+          Alcotest.test_case "lookup missing" `Quick test_rpc_lookup_missing;
+          Alcotest.test_case "rpc costs time" `Quick test_rpc_costs_time;
+          Alcotest.test_case "session limit" `Quick test_session_limit;
+          Alcotest.test_case "use after close guarded" `Quick test_close_guards_use_after;
+        ] );
+      ( "write-path",
+        [
+          Alcotest.test_case "logged write lands" `Quick test_logged_write_lands_in_data_area;
+          Alcotest.test_case "batching defers replay" `Quick test_batching_defers_replay;
+          Alcotest.test_case "seqno bumped" `Quick test_seqno_bumped_twice_per_tx;
+          Alcotest.test_case "memlog ring wraps" `Quick test_memlog_ring_wraps;
+          Alcotest.test_case "drain busies cpu" `Quick test_drain_busies_backend_cpu;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "writer lock serializes" `Quick test_writer_lock_serializes;
+          Alcotest.test_case "conflict window recorded" `Quick test_conflict_window_recorded;
+        ] );
+    ]

@@ -1,0 +1,409 @@
+open Asym_sim
+open Asym_core
+
+let check = Alcotest.check
+let lat = Latency.default
+
+let mk_backend () =
+  Backend.create ~name:"bk" ~max_sessions:6 ~memlog_cap:(256 * 1024) ~oplog_cap:(128 * 1024)
+    ~slab_size:1024 ~capacity:(8 * 1024 * 1024) lat
+
+let mk_client ?(cfg = Client.r ()) ?(name = "fe") bk =
+  let clk = Clock.create ~name () in
+  (Client.connect ~name cfg bk ~clock:clk, clk)
+
+(* -- overlay ---------------------------------------------------------------- *)
+
+let test_overlay_patch () =
+  let o = Overlay.create () in
+  Overlay.add o ~addr:100 (Bytes.of_string "XY");
+  let buf = Bytes.of_string "abcdef" in
+  Overlay.patch o ~addr:98 buf;
+  check Alcotest.string "patched middle" "abXYef" (Bytes.to_string buf)
+
+let test_overlay_try_read () =
+  let o = Overlay.create () in
+  check Alcotest.bool "empty" true (Overlay.try_read o ~addr:0 ~len:4 = None);
+  Overlay.add o ~addr:10 (Bytes.of_string "abcd");
+  check Alcotest.bool "full cover" true
+    (Overlay.try_read o ~addr:10 ~len:4 = Some (Bytes.of_string "abcd"));
+  check Alcotest.bool "partial cover fails" true (Overlay.try_read o ~addr:9 ~len:4 = None);
+  check Alcotest.bool "sub-range ok" true
+    (Overlay.try_read o ~addr:11 ~len:2 = Some (Bytes.of_string "bc"))
+
+let test_overlay_spans_blocks () =
+  let o = Overlay.create () in
+  let v = Bytes.init 200 (fun i -> Char.chr (i mod 256)) in
+  Overlay.add o ~addr:60 v;
+  (* 60..260 spans four 64-byte blocks. *)
+  check Alcotest.bool "spanning read" true (Overlay.try_read o ~addr:60 ~len:200 = Some v);
+  Overlay.clear o;
+  check Alcotest.bool "cleared" true (Overlay.try_read o ~addr:60 ~len:1 = None)
+
+let test_overlay_last_write_wins () =
+  let o = Overlay.create () in
+  Overlay.add o ~addr:0 (Bytes.of_string "aaaa");
+  Overlay.add o ~addr:2 (Bytes.of_string "BB");
+  check Alcotest.bool "overwrite" true (Overlay.try_read o ~addr:0 ~len:4 = Some (Bytes.of_string "aaBB"))
+
+(* -- cache ------------------------------------------------------------------- *)
+
+let mk_cache ?(policy = Cache.Hybrid) ?(pages = 8) () =
+  Cache.create ~policy ~page_size:64 ~capacity_bytes:(pages * 64)
+    (Asym_util.Rng.create ~seed:1L)
+
+let test_cache_hit_miss () =
+  let c = mk_cache () in
+  check Alcotest.bool "miss" true (Cache.find c 5 = None);
+  Cache.insert c 5 (Bytes.make 64 'x');
+  check Alcotest.bool "hit" true (Cache.find c 5 <> None);
+  check Alcotest.int "hits" 1 (Cache.hits c);
+  check Alcotest.int "misses" 1 (Cache.misses c)
+
+let test_cache_capacity_bounded () =
+  let c = mk_cache ~pages:4 () in
+  for i = 0 to 99 do
+    Cache.insert c i (Bytes.make 64 'x')
+  done;
+  check Alcotest.int "bounded" 4 (Cache.length c)
+
+let test_cache_lru_evicts_oldest () =
+  let c = mk_cache ~policy:Cache.Lru ~pages:3 () in
+  Cache.insert c 1 (Bytes.create 64);
+  Cache.insert c 2 (Bytes.create 64);
+  Cache.insert c 3 (Bytes.create 64);
+  ignore (Cache.find c 1);
+  (* 2 is now LRU *)
+  Cache.insert c 4 (Bytes.create 64);
+  check Alcotest.bool "1 kept" true (Cache.find c 1 <> None);
+  check Alcotest.bool "2 evicted" true (Cache.find c 2 = None)
+
+let test_cache_patch () =
+  let c = mk_cache () in
+  Cache.insert c 1 (Bytes.make 64 'a');
+  (* page 1 covers addresses 64..127 *)
+  Cache.patch c ~addr:70 (Bytes.of_string "ZZZ");
+  match Cache.find c 1 with
+  | Some b -> check Alcotest.string "patched" "aZZZa" (Bytes.sub_string b 5 5)
+  | None -> Alcotest.fail "page lost"
+
+let miss_ratio policy =
+  (* Zipfian accesses over 512 pages with a 64-page cache. *)
+  let rng = Asym_util.Rng.create ~seed:9L in
+  let c = Cache.create ~policy ~page_size:64 ~capacity_bytes:(64 * 64) rng in
+  let z = Asym_util.Zipf.create ~theta:0.9 ~n:512 (Asym_util.Rng.create ~seed:5L) in
+  for _ = 1 to 30_000 do
+    let p = Asym_util.Zipf.next z in
+    match Cache.find c p with None -> Cache.insert c p (Bytes.create 64) | Some _ -> ()
+  done;
+  float_of_int (Cache.misses c) /. float_of_int (Cache.hits c + Cache.misses c)
+
+let test_cache_hybrid_beats_rr () =
+  let rr = miss_ratio Cache.Rr in
+  let hybrid = miss_ratio Cache.Hybrid in
+  let lru = miss_ratio Cache.Lru in
+  check Alcotest.bool "hybrid < rr" true (hybrid < rr);
+  check Alcotest.bool "hybrid close to lru" true (hybrid < lru +. 0.05)
+
+(* -- two-tier allocator --------------------------------------------------------- *)
+
+let test_front_alloc_local_fast_path () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let a = Client.allocator fe in
+  let addrs = List.init 20 (fun _ -> Client.malloc fe 64) in
+  check Alcotest.int "20 allocations" 20 (Front_alloc.allocations a);
+  (* 1024-byte slabs hold 16 64-byte blocks and slabs are prefetched 8 at
+     a time: 20 allocations need a single back-end RPC. *)
+  check Alcotest.int "one slab rpc" 1 (Front_alloc.slab_rpcs a);
+  let distinct = List.sort_uniq compare addrs in
+  check Alcotest.int "all distinct" 20 (List.length distinct)
+
+let test_front_alloc_free_reuse () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let x = Client.malloc fe 100 in
+  Client.free fe x ~len:100;
+  let y = Client.malloc fe 100 in
+  check Alcotest.int "block reused" x y
+
+let test_front_alloc_large_goes_remote () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let a = Client.allocator fe in
+  let before = Front_alloc.slab_rpcs a in
+  let big = Client.malloc fe 10_000 in
+  check Alcotest.int "one rpc" (before + 1) (Front_alloc.slab_rpcs a);
+  Client.free fe big ~len:10_000;
+  let l = Backend.layout bk in
+  check Alcotest.int "slab aligned" 0 ((big - l.Layout.data_base) mod l.Layout.slab_size)
+
+let test_front_alloc_misaligned_free_rejected () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let x = Client.malloc fe 64 in
+  Alcotest.check_raises "misaligned"
+    (Invalid_argument "Front_alloc.free: misaligned block") (fun () ->
+      Client.free fe (x + 3) ~len:64)
+
+(* -- read path ------------------------------------------------------------------- *)
+
+let test_cached_read_cheaper_second_time () =
+  let bk = mk_backend () in
+  let fe, clk = mk_client ~cfg:(Client.rc ()) bk in
+  let h = Client.register_ds fe "kv" in
+  ignore h;
+  let addr = Client.malloc fe 64 in
+  ignore (Client.read fe ~addr ~len:64);
+  let t1 = Clock.now clk in
+  ignore (Client.read fe ~addr ~len:64);
+  let dt = Clock.now clk - t1 in
+  check Alcotest.bool "cache hit is sub-rtt" true (dt < lat.Latency.rdma_rtt_ns / 2)
+
+let test_uncached_read_costs_rtt_every_time () =
+  let bk = mk_backend () in
+  let fe, clk = mk_client ~cfg:(Client.r ()) bk in
+  let addr = Client.malloc fe 64 in
+  let t0 = Clock.now clk in
+  ignore (Client.read fe ~addr ~len:64);
+  ignore (Client.read fe ~addr ~len:64);
+  check Alcotest.bool "2 rtts" true (Clock.now clk - t0 >= 2 * lat.Latency.rdma_rtt_ns)
+
+let test_cold_hint_bypasses_cache () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client ~cfg:(Client.rc ()) bk in
+  let addr = Client.malloc fe 64 in
+  ignore (Client.read ~hint:`Cold fe ~addr ~len:64);
+  let hits, misses = Client.cache_stats fe in
+  check Alcotest.int "no cache traffic" 0 (hits + misses)
+
+let test_read_own_write_before_flush () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client ~cfg:(Client.rcb ~batch_size:100 ()) bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 64 in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write fe ~ds:h.Types.id ~addr (Bytes.of_string "pending!");
+  check Alcotest.string "overlay serves it" "pending!"
+    (Bytes.to_string (Client.read fe ~addr ~len:8));
+  Client.op_end fe ~ds:h.Types.id;
+  (* Not yet flushed (batch 100): remote data area must NOT have it. *)
+  check Alcotest.bool "not yet durable" true
+    (Bytes.to_string (Asym_nvm.Device.read (Backend.device bk) ~addr ~len:8) <> "pending!");
+  Client.flush fe;
+  check Alcotest.string "durable after flush" "pending!"
+    (Bytes.to_string (Asym_nvm.Device.read (Backend.device bk) ~addr ~len:8))
+
+(* -- naive (direct) mode ------------------------------------------------------------ *)
+
+let test_direct_mode_writes_in_place () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client ~cfg:(Client.naive ()) bk in
+  let h = Client.register_ds fe "kv" in
+  let addr = Client.malloc fe 64 in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write fe ~ds:h.Types.id ~addr (Bytes.of_string "immediate");
+  (* Durable before op_end: direct RDMA write. *)
+  check Alcotest.string "in place" "immediate"
+    (Bytes.to_string (Asym_nvm.Device.read (Backend.device bk) ~addr ~len:9));
+  Client.op_end fe ~ds:h.Types.id;
+  check Alcotest.int "no tx replay in naive mode" 0 (Backend.replayed_txs bk)
+
+let test_naive_slower_than_logged () =
+  let run cfg =
+    let bk = mk_backend () in
+    let fe, clk = mk_client ~cfg bk in
+    let h = Client.register_ds fe "kv" in
+    let addr = Client.malloc fe 256 in
+    let t0 = Clock.now clk in
+    for i = 0 to 99 do
+      ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+      (* Four small field writes per operation, as a tree insert would do. *)
+      for f = 0 to 3 do
+        Client.write_u64 fe ~ds:h.Types.id (addr + (8 * f)) (Int64.of_int (i + f))
+      done;
+      Client.op_end fe ~ds:h.Types.id
+    done;
+    Clock.now clk - t0
+  in
+  let naive = run (Client.naive ()) in
+  let logged = run (Client.r ()) in
+  let batched = run (Client.rcb ~batch_size:64 ()) in
+  check Alcotest.bool "R faster than naive" true (logged < naive);
+  check Alcotest.bool "RCB faster than R" true (batched < logged)
+
+(* -- op log / pending ops --------------------------------------------------------- *)
+
+let test_pending_ops_visible_until_flush () =
+  let bk = mk_backend () in
+  let fe, _ = mk_client ~cfg:(Client.rcb ~batch_size:10 ()) bk in
+  let h = Client.register_ds fe "stack" in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:7 ~params:(Bytes.of_string "a"));
+  Client.op_end fe ~ds:h.Types.id;
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:8 ~params:(Bytes.of_string "b"));
+  Client.op_end fe ~ds:h.Types.id;
+  let ops = Client.pending_ops fe ~ds:h.Types.id in
+  check Alcotest.int "two pending" 2 (List.length ops);
+  check (Alcotest.list Alcotest.int) "order and types" [ 7; 8 ]
+    (List.map (fun (_, ty, _) -> ty) ops);
+  Client.flush fe;
+  check Alcotest.int "cleared by flush" 0 (List.length (Client.pending_ops fe ~ds:h.Types.id))
+
+(* -- property tests --------------------------------------------------------- *)
+
+let prop_allocations_never_overlap =
+  QCheck.Test.make ~count:50 ~name:"live allocations never overlap"
+    QCheck.(small_list (pair (int_range 1 600) bool))
+    (fun reqs ->
+      let bk = mk_backend () in
+      let fe, _ = mk_client bk in
+      let live = Hashtbl.create 16 in
+      List.iteri
+        (fun i (size, free_one) ->
+          if free_one && Hashtbl.length live > 0 then begin
+            let addr, len = Hashtbl.fold (fun a l _ -> (a, l)) live (0, 0) in
+            Hashtbl.remove live addr;
+            Client.free fe addr ~len
+          end
+          else begin
+            let addr = Client.malloc fe size in
+            Hashtbl.replace live addr size;
+            ignore i
+          end)
+        reqs;
+      (* No two live allocations may intersect. *)
+      let spans = Hashtbl.fold (fun a l acc -> (a, a + l) :: acc) live [] in
+      let sorted = List.sort compare spans in
+      let rec disjoint = function
+        | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~count:100 ~name:"cache stays within capacity for any policy"
+    QCheck.(pair (int_range 1 16) (small_list (int_bound 200)))
+    (fun (pages, accesses) ->
+      List.for_all
+        (fun policy ->
+          let c =
+            Cache.create ~policy ~page_size:64 ~capacity_bytes:(pages * 64)
+              (Asym_util.Rng.create ~seed:3L)
+          in
+          List.iter
+            (fun id ->
+              match Cache.find c id with
+              | Some _ -> ()
+              | None -> Cache.insert c id (Bytes.create 64))
+            accesses;
+          Cache.length c <= pages)
+        [ Cache.Lru; Cache.Rr; Cache.Hybrid ])
+
+let prop_overlay_matches_byte_model =
+  QCheck.Test.make ~count:150 ~name:"overlay patch/try_read vs flat byte model"
+    QCheck.(small_list (pair (int_bound 200) (string_of_size Gen.(1 -- 24))))
+    (fun writes ->
+      let o = Overlay.create () in
+      let model = Bytes.make 256 '\000' in
+      let written = Array.make 256 false in
+      List.iter
+        (fun (addr, s) ->
+          let s = if addr + String.length s > 256 then String.sub s 0 (256 - addr) else s in
+          if String.length s > 0 then begin
+            Overlay.add o ~addr (Bytes.of_string s);
+            Bytes.blit_string s 0 model addr (String.length s);
+            for i = addr to addr + String.length s - 1 do
+              written.(i) <- true
+            done
+          end)
+        writes;
+      (* patch must overlay exactly the written bytes... *)
+      let base = Bytes.make 256 '\xff' in
+      Overlay.patch o ~addr:0 base;
+      let patch_ok = ref true in
+      for i = 0 to 255 do
+        let expect = if written.(i) then Bytes.get model i else '\xff' in
+        if Bytes.get base i <> expect then patch_ok := false
+      done;
+      (* ...and try_read succeeds exactly on fully-written ranges. *)
+      let try_ok = ref true in
+      List.iter
+        (fun (addr, s) ->
+          let len = min (String.length s) (256 - addr) in
+          if len > 0 then
+            match Overlay.try_read o ~addr ~len with
+            | Some b -> if not (Bytes.equal b (Bytes.sub model addr len)) then try_ok := false
+            | None -> try_ok := false)
+        writes;
+      !patch_ok && !try_ok)
+
+let prop_cache_readback =
+  QCheck.Test.make ~count:100 ~name:"cache returns the last inserted/patched bytes"
+    QCheck.(small_list (pair (int_bound 7) (string_of_size Gen.(return 64))))
+    (fun writes ->
+      let c = mk_cache ~pages:8 () in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (id, s) ->
+          Cache.insert c id (Bytes.of_string s);
+          Hashtbl.replace model id s)
+        writes;
+      Hashtbl.fold
+        (fun id s acc ->
+          acc
+          &&
+          match Cache.find c id with
+          | Some b -> Bytes.to_string b = s
+          | None -> true (* evicted is fine; wrong bytes are not *))
+        model true)
+
+let () =
+  Alcotest.run "client"
+    [
+      ( "overlay",
+        [
+          Alcotest.test_case "patch" `Quick test_overlay_patch;
+          Alcotest.test_case "try_read" `Quick test_overlay_try_read;
+          Alcotest.test_case "spans blocks" `Quick test_overlay_spans_blocks;
+          Alcotest.test_case "last write wins" `Quick test_overlay_last_write_wins;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "capacity bounded" `Quick test_cache_capacity_bounded;
+          Alcotest.test_case "lru evicts oldest" `Quick test_cache_lru_evicts_oldest;
+          Alcotest.test_case "patch" `Quick test_cache_patch;
+          Alcotest.test_case "hybrid between rr and lru" `Slow test_cache_hybrid_beats_rr;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "local fast path" `Quick test_front_alloc_local_fast_path;
+          Alcotest.test_case "free/reuse" `Quick test_front_alloc_free_reuse;
+          Alcotest.test_case "large goes remote" `Quick test_front_alloc_large_goes_remote;
+          Alcotest.test_case "misaligned free rejected" `Quick
+            test_front_alloc_misaligned_free_rejected;
+        ] );
+      ( "reads",
+        [
+          Alcotest.test_case "cached read cheaper" `Quick test_cached_read_cheaper_second_time;
+          Alcotest.test_case "uncached pays rtt" `Quick test_uncached_read_costs_rtt_every_time;
+          Alcotest.test_case "cold hint bypasses cache" `Quick test_cold_hint_bypasses_cache;
+          Alcotest.test_case "read own write" `Quick test_read_own_write_before_flush;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "direct writes in place" `Quick test_direct_mode_writes_in_place;
+          Alcotest.test_case "naive < R < RCB" `Quick test_naive_slower_than_logged;
+        ] );
+      ( "oplog",
+        [
+          Alcotest.test_case "pending ops until flush" `Quick test_pending_ops_visible_until_flush;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_allocations_never_overlap;
+          QCheck_alcotest.to_alcotest prop_cache_never_exceeds_capacity;
+          QCheck_alcotest.to_alcotest prop_cache_readback;
+          QCheck_alcotest.to_alcotest prop_overlay_matches_byte_model;
+        ] );
+    ]

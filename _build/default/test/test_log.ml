@@ -1,0 +1,187 @@
+open Asym_core
+
+let check = Alcotest.check
+
+let entry ?from_op addr s = Log.Mem_entry.make ?from_op ~addr (Bytes.of_string s)
+
+let tx ?(ds = 3) ?(op_hi = 9L) entries = { Log.Tx.ds; op_hi; entries }
+
+let test_tx_roundtrip () =
+  let t = tx [ entry 100 "abc"; entry 200 "defghij"; entry 64 "" ] in
+  let b = Log.Tx.encode t in
+  match Log.Tx.scan b ~pos:0 with
+  | Log.Tx.Record (t', consumed) ->
+      check Alcotest.int "consumed all" (Bytes.length b) consumed;
+      check Alcotest.int "ds" 3 t'.Log.Tx.ds;
+      check Alcotest.int64 "op_hi" 9L t'.Log.Tx.op_hi;
+      check Alcotest.int "entries" 3 (List.length t'.Log.Tx.entries);
+      List.iter2
+        (fun a b ->
+          check Alcotest.int "addr" a.Log.Mem_entry.addr b.Log.Mem_entry.addr;
+          check Alcotest.string "value"
+            (Bytes.to_string a.Log.Mem_entry.value)
+            (Bytes.to_string b.Log.Mem_entry.value))
+        t.Log.Tx.entries t'.Log.Tx.entries
+  | _ -> Alcotest.fail "expected record"
+
+let test_tx_empty_at_zero_byte () =
+  let b = Bytes.make 64 '\000' in
+  check Alcotest.bool "empty" true (Log.Tx.scan b ~pos:0 = Log.Tx.Empty)
+
+let test_tx_wrap_marker () =
+  let b = Bytes.make 8 '\000' in
+  Bytes.blit Log.Tx.wrap_marker 0 b 0 1;
+  check Alcotest.bool "wrap" true (Log.Tx.scan b ~pos:0 = Log.Tx.Wrap)
+
+let test_tx_torn_detected () =
+  let t = tx [ entry 100 "some value here" ] in
+  let b = Log.Tx.encode t in
+  (* Corrupt one payload byte: the CRC must catch it. *)
+  Bytes.set b (Bytes.length b - 6) 'X';
+  check Alcotest.bool "torn" true (Log.Tx.scan b ~pos:0 = Log.Tx.Torn)
+
+let test_tx_truncated_is_torn () =
+  let t = tx [ entry 100 "0123456789abcdef" ] in
+  let b = Log.Tx.encode t in
+  let cut = Bytes.sub b 0 (Bytes.length b - 5) in
+  check Alcotest.bool "truncated torn" true (Log.Tx.scan cut ~pos:0 = Log.Tx.Torn)
+
+let test_tx_sequence_scan () =
+  let t1 = tx ~op_hi:1L [ entry 0 "one" ] in
+  let t2 = tx ~op_hi:2L [ entry 8 "two" ] in
+  let b1 = Log.Tx.encode t1 and b2 = Log.Tx.encode t2 in
+  let buf = Bytes.make (Bytes.length b1 + Bytes.length b2 + 32) '\000' in
+  Bytes.blit b1 0 buf 0 (Bytes.length b1);
+  Bytes.blit b2 0 buf (Bytes.length b1) (Bytes.length b2);
+  match Log.Tx.scan buf ~pos:0 with
+  | Log.Tx.Record (r1, c1) -> (
+      check Alcotest.int64 "first" 1L r1.Log.Tx.op_hi;
+      match Log.Tx.scan buf ~pos:c1 with
+      | Log.Tx.Record (r2, c2) ->
+          check Alcotest.int64 "second" 2L r2.Log.Tx.op_hi;
+          check Alcotest.bool "then empty" true (Log.Tx.scan buf ~pos:(c1 + c2) = Log.Tx.Empty)
+      | _ -> Alcotest.fail "expected second record")
+  | _ -> Alcotest.fail "expected first record"
+
+let test_tx_wire_size_pointer_optimization () =
+  let plain = tx [ entry 0 (String.make 64 'v') ] in
+  let pointed = tx [ entry ~from_op:5L 0 (String.make 64 'v') ] in
+  check Alcotest.bool "pointer form smaller on the wire" true
+    (Log.Tx.wire_size pointed < Log.Tx.wire_size plain);
+  (* But both encode the value inline for integrity. *)
+  check Alcotest.int "encoded equal" (Bytes.length (Log.Tx.encode plain))
+    (Bytes.length (Log.Tx.encode pointed))
+
+let test_op_roundtrip () =
+  let op = { Log.Op_entry.ds = 7; opnum = 42L; optype = 3; params = Bytes.of_string "kv" } in
+  let b = Log.Op_entry.encode op in
+  match Log.Op_entry.scan b ~pos:0 with
+  | Log.Op_entry.Record (op', consumed) ->
+      check Alcotest.int "consumed" (Bytes.length b) consumed;
+      check Alcotest.int "ds" 7 op'.Log.Op_entry.ds;
+      check Alcotest.int64 "opnum" 42L op'.Log.Op_entry.opnum;
+      check Alcotest.int "optype" 3 op'.Log.Op_entry.optype;
+      check Alcotest.string "params" "kv" (Bytes.to_string op'.Log.Op_entry.params)
+  | _ -> Alcotest.fail "expected record"
+
+let test_op_torn () =
+  let op = { Log.Op_entry.ds = 1; opnum = 1L; optype = 1; params = Bytes.of_string "payload" } in
+  let b = Log.Op_entry.encode op in
+  Bytes.set b 14 '\255';
+  check Alcotest.bool "torn" true (Log.Op_entry.scan b ~pos:0 = Log.Op_entry.Torn)
+
+let test_op_empty_and_wrap () =
+  let b = Bytes.make 4 '\000' in
+  check Alcotest.bool "empty" true (Log.Op_entry.scan b ~pos:0 = Log.Op_entry.Empty);
+  Bytes.blit Log.Op_entry.wrap_marker 0 b 0 1;
+  check Alcotest.bool "wrap" true (Log.Op_entry.scan b ~pos:0 = Log.Op_entry.Wrap)
+
+let test_tx_empty_entries () =
+  (* A header-only transaction (the §8.1 fully-annulled batch) still
+     round-trips and advances op coverage. *)
+  let t = tx ~op_hi:7L [] in
+  match Log.Tx.scan (Log.Tx.encode t) ~pos:0 with
+  | Log.Tx.Record (t', _) ->
+      check Alcotest.int64 "op_hi" 7L t'.Log.Tx.op_hi;
+      check Alcotest.int "no entries" 0 (List.length t'.Log.Tx.entries)
+  | _ -> Alcotest.fail "expected record"
+
+let test_tx_scan_at_offset () =
+  let b1 = Log.Tx.encode (tx ~op_hi:1L [ entry 0 "x" ]) in
+  let buf = Bytes.make (Bytes.length b1 + 10) '\000' in
+  Bytes.blit b1 0 buf 5 (Bytes.length b1);
+  (* Scanning at the right offset parses; at offset 0 it reports Empty. *)
+  check Alcotest.bool "offset 0 empty" true (Log.Tx.scan buf ~pos:0 = Log.Tx.Empty);
+  (match Log.Tx.scan buf ~pos:5 with
+  | Log.Tx.Record (r, _) -> check Alcotest.int64 "parsed at offset" 1L r.Log.Tx.op_hi
+  | _ -> Alcotest.fail "expected record at offset 5");
+  check Alcotest.bool "past end empty" true
+    (Log.Tx.scan buf ~pos:(Bytes.length buf) = Log.Tx.Empty)
+
+let test_wire_size_matches_encoded_without_pointers () =
+  (* With no op-log pointers the wire size equals the encoded size. *)
+  let t = tx [ entry 0 "0123456789"; entry 64 "" ] in
+  check Alcotest.int "wire = encoded" (Bytes.length (Log.Tx.encode t)) (Log.Tx.wire_size t)
+
+let gen_entry =
+  QCheck.Gen.(
+    map2
+      (fun addr s -> Log.Mem_entry.make ~addr (Bytes.of_string s))
+      (int_bound 100000) (string_size (0 -- 80)))
+
+let prop_tx_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"tx encode/scan roundtrip"
+    (QCheck.make QCheck.Gen.(pair (list_size (1 -- 10) gen_entry) (pair (int_bound 100) ui64)))
+    (fun (entries, (ds, op_hi)) ->
+      let t = { Log.Tx.ds; op_hi = Int64.logand op_hi Int64.max_int; entries } in
+      match Log.Tx.scan (Log.Tx.encode t) ~pos:0 with
+      | Log.Tx.Record (t', _) ->
+          t'.Log.Tx.ds = t.Log.Tx.ds
+          && t'.Log.Tx.op_hi = t.Log.Tx.op_hi
+          && List.for_all2
+               (fun a b ->
+                 a.Log.Mem_entry.addr = b.Log.Mem_entry.addr
+                 && Bytes.equal a.Log.Mem_entry.value b.Log.Mem_entry.value)
+               t.Log.Tx.entries t'.Log.Tx.entries
+      | _ -> false)
+
+let prop_tx_bitflip_never_parses_wrong =
+  QCheck.Test.make ~count:300 ~name:"single bit flip -> torn or identical"
+    (QCheck.make QCheck.Gen.(triple (list_size (1 -- 4) gen_entry) (int_bound 10000) small_nat))
+    (fun (entries, seed, flip) ->
+      let t = { Log.Tx.ds = seed mod 7; op_hi = Int64.of_int seed; entries } in
+      let b = Log.Tx.encode t in
+      let i = flip mod (Bytes.length b * 8) in
+      let byte = i / 8 and bit = i mod 8 in
+      Bytes.set_uint8 b byte (Bytes.get_uint8 b byte lxor (1 lsl bit));
+      match Log.Tx.scan b ~pos:0 with
+      | Log.Tx.Record _ -> false (* CRC32 catches all single-bit flips *)
+      | Log.Tx.Torn | Log.Tx.Empty | Log.Tx.Wrap -> true)
+
+let () =
+  Alcotest.run "log"
+    [
+      ( "tx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tx_roundtrip;
+          Alcotest.test_case "empty" `Quick test_tx_empty_at_zero_byte;
+          Alcotest.test_case "wrap marker" `Quick test_tx_wrap_marker;
+          Alcotest.test_case "torn detected" `Quick test_tx_torn_detected;
+          Alcotest.test_case "truncated torn" `Quick test_tx_truncated_is_torn;
+          Alcotest.test_case "sequence scan" `Quick test_tx_sequence_scan;
+          Alcotest.test_case "pointer wire optimization" `Quick
+            test_tx_wire_size_pointer_optimization;
+          Alcotest.test_case "empty (annulled) tx" `Quick test_tx_empty_entries;
+          Alcotest.test_case "scan at offset" `Quick test_tx_scan_at_offset;
+          Alcotest.test_case "wire size without pointers" `Quick
+            test_wire_size_matches_encoded_without_pointers;
+          QCheck_alcotest.to_alcotest prop_tx_roundtrip;
+          QCheck_alcotest.to_alcotest prop_tx_bitflip_never_parses_wrong;
+        ] );
+      ( "op",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_op_roundtrip;
+          Alcotest.test_case "torn" `Quick test_op_torn;
+          Alcotest.test_case "empty/wrap" `Quick test_op_empty_and_wrap;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+open Asym_nvm
+
+let check = Alcotest.check
+let lat = Asym_sim.Latency.default
+let mk ?(cap = 4096) () = Device.create ~name:"t" ~capacity:cap lat
+
+let test_read_write_roundtrip () =
+  let d = mk () in
+  Device.write d ~addr:100 (Bytes.of_string "hello");
+  check Alcotest.string "roundtrip" "hello" (Bytes.to_string (Device.read d ~addr:100 ~len:5))
+
+let test_u64_roundtrip () =
+  let d = mk () in
+  Device.write_u64 d ~addr:8 0x1234567890ABCDEFL;
+  check Alcotest.int64 "u64" 0x1234567890ABCDEFL (Device.read_u64 d ~addr:8)
+
+let test_bounds () =
+  let d = mk ~cap:64 () in
+  Alcotest.check_raises "oob write"
+    (Invalid_argument "Nvm.Device t: access out of bounds (addr=60 len=8 cap=64)") (fun () ->
+      Device.write_u64 d ~addr:60 1L);
+  Alcotest.check_raises "negative read"
+    (Invalid_argument "Nvm.Device t: access out of bounds (addr=-1 len=4 cap=64)") (fun () ->
+      ignore (Device.read d ~addr:(-1) ~len:4))
+
+let test_cas () =
+  let d = mk () in
+  Device.write_u64 d ~addr:0 5L;
+  check Alcotest.int64 "cas returns old" 5L
+    (Device.compare_and_swap d ~addr:0 ~expected:5L ~desired:9L);
+  check Alcotest.int64 "cas applied" 9L (Device.read_u64 d ~addr:0);
+  check Alcotest.int64 "failed cas returns current" 9L
+    (Device.compare_and_swap d ~addr:0 ~expected:5L ~desired:1L);
+  check Alcotest.int64 "failed cas no-op" 9L (Device.read_u64 d ~addr:0)
+
+let test_fetch_add () =
+  let d = mk () in
+  Device.write_u64 d ~addr:0 10L;
+  check Alcotest.int64 "faa old" 10L (Device.fetch_add d ~addr:0 5L);
+  check Alcotest.int64 "faa new" 15L (Device.read_u64 d ~addr:0)
+
+let test_torn_write () =
+  let d = mk () in
+  Device.write d ~addr:0 (Bytes.of_string "AAAAAAAA");
+  Device.write d ~addr:0 (Bytes.of_string "BBBBBBBB");
+  Device.tear_last_write d ~keep:3;
+  check Alcotest.string "prefix new, suffix old" "BBBAAAAA"
+    (Bytes.to_string (Device.read d ~addr:0 ~len:8))
+
+let test_torn_write_keep_zero () =
+  let d = mk () in
+  Device.write d ~addr:10 (Bytes.of_string "xyz");
+  Device.write d ~addr:10 (Bytes.of_string "abc");
+  Device.tear_last_write d ~keep:0;
+  check Alcotest.string "fully reverted" "xyz" (Bytes.to_string (Device.read d ~addr:10 ~len:3))
+
+let test_tear_only_once () =
+  let d = mk () in
+  Device.write d ~addr:0 (Bytes.of_string "new");
+  Device.tear_last_write d ~keep:0;
+  (* Second tear is a no-op: bookkeeping was consumed. *)
+  Device.tear_last_write d ~keep:0;
+  check Alcotest.string "still empty" "\000\000\000" (Bytes.to_string (Device.read d ~addr:0 ~len:3))
+
+let test_crash_restart_preserves () =
+  let d = mk () in
+  Device.write d ~addr:0 (Bytes.of_string "durable");
+  Device.crash_restart d;
+  check Alcotest.string "survives" "durable" (Bytes.to_string (Device.read d ~addr:0 ~len:7));
+  (* After a clean restart there is nothing to tear. *)
+  Device.tear_last_write d ~keep:0;
+  check Alcotest.string "still there" "durable" (Bytes.to_string (Device.read d ~addr:0 ~len:7))
+
+let test_snapshot_load () =
+  let d = mk () in
+  Device.write d ~addr:5 (Bytes.of_string "state");
+  let snap = Device.snapshot d in
+  Device.write d ~addr:5 (Bytes.of_string "XXXXX");
+  Device.load d snap;
+  check Alcotest.string "restored" "state" (Bytes.to_string (Device.read d ~addr:5 ~len:5))
+
+let test_counters () =
+  let d = mk () in
+  Device.write d ~addr:0 (Bytes.create 10);
+  Device.write d ~addr:0 (Bytes.create 6);
+  ignore (Device.read d ~addr:0 ~len:4);
+  check Alcotest.int "writes" 2 (Device.writes_performed d);
+  check Alcotest.int "reads" 1 (Device.reads_performed d);
+  check Alcotest.int "bytes written" 16 (Device.bytes_written d)
+
+let test_costs () =
+  let d = mk () in
+  check Alcotest.int "read cost 1 line" lat.Asym_sim.Latency.nvm_read_ns (Device.read_cost d ~len:64);
+  check Alcotest.int "write cost 2 lines" (2 * lat.Asym_sim.Latency.nvm_write_ns)
+    (Device.write_cost d ~len:65)
+
+let prop_write_read =
+  QCheck.Test.make ~count:300 ~name:"random write/read roundtrip"
+    QCheck.(pair (int_bound 1000) (string_of_size Gen.(1 -- 64)))
+    (fun (addr, s) ->
+      QCheck.assume (String.length s > 0);
+      let d = mk () in
+      Device.write d ~addr (Bytes.of_string s);
+      Bytes.to_string (Device.read d ~addr ~len:(String.length s)) = s)
+
+let prop_tear_is_prefix =
+  QCheck.Test.make ~count:300 ~name:"torn write = prefix of new + suffix of old"
+    QCheck.(triple (int_bound 100) (string_of_size Gen.(1 -- 32)) small_nat)
+    (fun (addr, s, keep) ->
+      QCheck.assume (String.length s > 0);
+      let d = mk () in
+      let old = String.make (String.length s) 'o' in
+      Device.write d ~addr (Bytes.of_string old);
+      Device.write d ~addr (Bytes.of_string s);
+      Device.tear_last_write d ~keep;
+      let got = Bytes.to_string (Device.read d ~addr ~len:(String.length s)) in
+      let k = min keep (String.length s) in
+      got = String.sub s 0 k ^ String.sub old k (String.length s - k))
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_read_write_roundtrip;
+          Alcotest.test_case "u64 roundtrip" `Quick test_u64_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "cas" `Quick test_cas;
+          Alcotest.test_case "fetch_add" `Quick test_fetch_add;
+          Alcotest.test_case "torn write" `Quick test_torn_write;
+          Alcotest.test_case "torn write keep=0" `Quick test_torn_write_keep_zero;
+          Alcotest.test_case "tear only once" `Quick test_tear_only_once;
+          Alcotest.test_case "crash/restart durability" `Quick test_crash_restart_preserves;
+          Alcotest.test_case "snapshot/load" `Quick test_snapshot_load;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "costs" `Quick test_costs;
+          QCheck_alcotest.to_alcotest prop_write_read;
+          QCheck_alcotest.to_alcotest prop_tear_is_prefix;
+        ] );
+    ]

@@ -1,0 +1,562 @@
+(* Crash-consistency and replication tests: the five failure cases of
+   paper §7.2, torn-write detection, replay idempotence, lock-ahead
+   recovery and mirror promotion. *)
+
+open Asym_sim
+open Asym_core
+open Asym_structs
+
+let check = Alcotest.check
+let lat = Latency.default
+let v s = Bytes.of_string s
+let bytes_eq = Alcotest.testable (fun fmt b -> Fmt.string fmt (Bytes.to_string b)) Bytes.equal
+
+module Bst = Pbst.Make (Client)
+module Hash = Phash.Make (Client)
+module Stack = Pstack.Make (Client)
+
+let mk_backend ?(name = "bk") () =
+  Backend.create ~name ~max_sessions:8 ~memlog_cap:(512 * 1024) ~oplog_cap:(256 * 1024)
+    ~slab_size:4096 ~capacity:(16 * 1024 * 1024) lat
+
+let mk_client ?(cfg = Client.rcb ~batch_size:16 ()) ?(name = "fe") bk =
+  Client.connect ~name cfg bk ~clock:(Clock.create ~name ())
+
+(* -- Case 1: front-end reader crash ------------------------------------- *)
+
+let test_case1_reader_crash () =
+  let bk = mk_backend () in
+  let fe = mk_client bk in
+  let t = Bst.attach fe ~name:"bst" in
+  for i = 0 to 19 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v (string_of_int i))
+  done;
+  Client.flush fe;
+  Client.crash fe;
+  let ops = Client.recover fe in
+  check Alcotest.int "nothing to replay" 0 (List.length ops);
+  (* Resume reads through naming. *)
+  let t = Bst.attach fe ~name:"bst" in
+  check (Alcotest.option bytes_eq) "data intact" (Some (v "7")) (Bst.find t ~key:7L)
+
+(* -- Case 2: front-end writer crash -------------------------------------- *)
+
+let test_case2a_writer_crash_all_flushed () =
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let t = Bst.attach fe ~name:"bst" in
+  for i = 0 to 9 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v "x")
+  done;
+  (* batch=1: every op flushed synchronously. *)
+  Client.crash fe;
+  let ops = Client.recover fe in
+  check Alcotest.int "no unreplayed ops" 0 (List.length ops);
+  let t = Bst.attach fe ~name:"bst" in
+  check Alcotest.int "all ten present" 10 (List.length (Bst.to_list t))
+
+let test_case2c_writer_crash_mid_batch () =
+  (* Operation logs are durable per op; memory logs of the open batch die
+     with the front-end. Recovery returns exactly the uncovered ops and
+     re-executing them restores the full state. *)
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:64 ()) bk in
+  let t = Bst.attach fe ~name:"bst" in
+  for i = 0 to 29 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v (string_of_int i))
+  done;
+  (* batch 64 not reached: nothing flushed since the last attach flush. *)
+  Client.crash fe;
+  let ops = Client.recover fe in
+  check Alcotest.bool "some ops to replay" true (List.length ops = 30);
+  let t = Bst.attach fe ~name:"bst" in
+  let reg = Registry.create () in
+  Registry.register reg ~ds:(Bst.handle t).Types.id (Bst.replay t);
+  Registry.replay_all reg ops;
+  Client.flush fe;
+  let l = Bst.to_list t in
+  check Alcotest.int "all thirty restored" 30 (List.length l);
+  check (Alcotest.option bytes_eq) "value ok" (Some (v "17")) (Bst.find t ~key:17L)
+
+let test_case2_partial_batch_replay () =
+  (* Crash with a batch partially flushed: covered ops must NOT be
+     re-executed, uncovered ones must. *)
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:10 ()) bk in
+  let t = Stack.attach fe ~name:"st" in
+  for i = 0 to 24 do
+    Stack.push t (v (string_of_int i))
+  done;
+  (* 25 pushes: 20 flushed (two batches), 5 pending. *)
+  Client.crash fe;
+  let ops = Client.recover fe in
+  check Alcotest.int "five uncovered" 5 (List.length ops);
+  let t = Stack.attach fe ~name:"st" in
+  check Alcotest.int "twenty survived" 20 (Stack.size t);
+  let reg = Registry.create () in
+  Registry.register reg ~ds:(Stack.handle t).Types.id (Stack.replay t);
+  Registry.replay_all reg ops;
+  Client.flush fe;
+  check Alcotest.int "all twenty-five" 25 (Stack.size t);
+  check (Alcotest.option bytes_eq) "top is last push" (Some (v "24")) (Stack.peek t)
+
+let test_case2b_torn_memlog_detected () =
+  (* A torn transaction in the memory-log ring is detected by checksum on
+     restart and reported; the intact prefix is preserved. *)
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let h = Client.register_ds fe "raw" in
+  let addr = Client.malloc fe 64 in
+  ignore (Client.op_begin fe ~ds:h.Types.id ~optype:1 ~params:Bytes.empty);
+  Client.write_u64 fe ~ds:h.Types.id addr 1L;
+  Client.op_end fe ~ds:h.Types.id;
+  (* Hand-write a transaction into the ring and tear it. *)
+  let ring_base, _ = Backend.memlog_ring bk ~session:(Client.session fe) in
+  let cursors = Backend.session_cursors bk ~session:(Client.session fe) in
+  let tx =
+    Log.Tx.encode
+      {
+        Log.Tx.ds = h.Types.id;
+        op_hi = 99L;
+        entries = [ Log.Mem_entry.make ~addr (Bytes.of_string "DEADBEEF") ];
+      }
+  in
+  Asym_nvm.Device.write (Backend.device bk) ~addr:(ring_base + cursors.Rpc_msg.memlog_head) tx;
+  Backend.crash ~torn_keep:(Bytes.length tx - 3) bk;
+  let statuses = Backend.restart bk in
+  check Alcotest.bool "torn tail reported" true
+    (List.mem (Client.session fe, Backend.Session_torn_tail) statuses);
+  (* The committed value survived; the torn record was not applied. *)
+  check Alcotest.int64 "prefix intact" 1L (Asym_nvm.Device.read_u64 (Backend.device bk) ~addr)
+
+(* -- Case 3: back-end transient failure ----------------------------------- *)
+
+let test_case3_backend_transient () =
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:8 ()) bk in
+  let t = Hash.attach ~nbuckets:64 fe ~name:"h" in
+  for i = 0 to 15 do
+    Hash.put t ~key:(Int64.of_int i) ~value:(v (string_of_int i))
+  done;
+  (* Backend dies; in-flight ops observe Failure_detected via the RNIC. *)
+  Backend.crash bk;
+  (try Hash.put t ~key:100L ~value:(v "lost") with Asym_rdma.Verbs.Failure_detected _ -> ());
+  Client.abort_tx fe;
+  ignore (Backend.restart bk);
+  Client.reconnect_after_backend_restart fe;
+  let ops = Client.recover fe in
+  let reg = Registry.create () in
+  Registry.register reg ~ds:(Hash.handle t).Types.id (Hash.replay t);
+  Registry.replay_all reg ops;
+  Client.flush fe;
+  (* Everything acked before the crash must be present. *)
+  for i = 0 to 15 do
+    check (Alcotest.option bytes_eq)
+      (Printf.sprintf "key %d" i)
+      (Some (v (string_of_int i)))
+      (Hash.get t ~key:(Int64.of_int i))
+  done;
+  (* And the system accepts new writes. *)
+  Hash.put t ~key:500L ~value:(v "after");
+  check (Alcotest.option bytes_eq) "new write ok" (Some (v "after")) (Hash.get t ~key:500L)
+
+let test_case3_restart_replay_idempotent () =
+  (* Restarting twice (replaying the same LPN region) must not corrupt. *)
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let t = Bst.attach fe ~name:"b" in
+  for i = 0 to 9 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v "x")
+  done;
+  Backend.crash bk;
+  ignore (Backend.restart bk);
+  Backend.crash bk;
+  ignore (Backend.restart bk);
+  Client.reconnect_after_backend_restart fe;
+  let t = Bst.attach fe ~name:"b" in
+  check Alcotest.int "ten keys" 10 (List.length (Bst.to_list t))
+
+(* -- Case 4: back-end permanent failure, mirror promotion ------------------ *)
+
+let mirrored_backend () =
+  let bk = mk_backend () in
+  let m1 = Mirror.create ~name:"m1" ~kind:Mirror.Nvm_backed ~capacity:(16 * 1024 * 1024) lat in
+  let m2 = Mirror.create ~name:"m2" ~kind:Mirror.Ssd_backed ~capacity:(16 * 1024 * 1024) lat in
+  Backend.attach_mirror bk m1;
+  Backend.attach_mirror bk m2;
+  (bk, m1, m2)
+
+let test_mirror_image_tracks_backend () =
+  let bk, m1, _ = mirrored_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:4 ()) bk in
+  let t = Bst.attach fe ~name:"b" in
+  for i = 0 to 31 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v (string_of_int i))
+  done;
+  Client.flush fe;
+  (* The replicated regions (everything except transient lock words and
+     sequence numbers in the meta heap) must match byte for byte. *)
+  let l = Backend.layout bk in
+  let a = Asym_nvm.Device.snapshot (Backend.device bk) in
+  let b = Asym_nvm.Device.snapshot (Mirror.device m1) in
+  let region name lo len =
+    check Alcotest.bool (name ^ " replicated") true
+      (Bytes.sub a lo len = Bytes.sub b lo len)
+  in
+  region "naming" l.Layout.naming_base l.Layout.naming_len;
+  region "bitmap" l.Layout.bitmap_base l.Layout.bitmap_len;
+  region "data" l.Layout.data_base (l.Layout.n_slabs * l.Layout.slab_size)
+
+let test_case4_promote_nvm_mirror () =
+  let bk, m1, m2 = mirrored_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:4 ()) bk in
+  let t = Bst.attach fe ~name:"b" in
+  for i = 0 to 49 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v (string_of_int i))
+  done;
+  Client.flush fe;
+  Backend.crash bk;
+  (* Vote: the NVM mirror wins over the SSD mirror. *)
+  check Alcotest.bool "nvm mirror elected" true
+    (match Asym_cluster.Failover.elect [ m2; m1 ] with Some m -> m == m1 | None -> false);
+  let bk' = Asym_cluster.Failover.promote m1 lat in
+  Client.switch_backend fe bk';
+  let t = Bst.attach fe ~name:"b" in
+  check Alcotest.int "all keys on new backend" 50 (List.length (Bst.to_list t));
+  check (Alcotest.option bytes_eq) "spot check" (Some (v "33")) (Bst.find t ~key:33L);
+  (* The promoted back-end accepts new writes. *)
+  Bst.put t ~key:1000L ~value:(v "new-era");
+  check (Alcotest.option bytes_eq) "post-promotion write" (Some (v "new-era"))
+    (Bst.find t ~key:1000L)
+
+let test_case4_promote_ssd_mirror () =
+  let bk, m1, m2 = mirrored_backend () in
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let t = Hash.attach ~nbuckets:32 fe ~name:"h" in
+  for i = 0 to 19 do
+    Hash.put t ~key:(Int64.of_int i) ~value:(v (string_of_int i))
+  done;
+  Backend.crash bk;
+  Mirror.crash m1;
+  (* Only the SSD mirror survives: rebuild onto a fresh NVM device. *)
+  match Asym_cluster.Failover.elect [ m1; m2 ] with
+  | Some m when m == m2 ->
+      let bk' = Asym_cluster.Failover.promote m2 lat in
+      Client.switch_backend fe bk';
+      let t = Hash.attach ~nbuckets:32 fe ~name:"h" in
+      check (Alcotest.option bytes_eq) "rebuilt" (Some (v "11")) (Hash.get t ~key:11L)
+  | _ -> Alcotest.fail "expected ssd mirror election"
+
+let test_case4_failover_helper () =
+  let bk, m1, _ = mirrored_backend () in
+  let fe = mk_client bk in
+  let t = Bst.attach fe ~name:"b" in
+  Bst.put t ~key:1L ~value:(v "one");
+  Client.flush fe;
+  Backend.crash bk;
+  match Asym_cluster.Failover.failover ~dead:bk lat with
+  | None -> Alcotest.fail "no successor"
+  | Some bk' ->
+      ignore m1;
+      Client.switch_backend fe bk';
+      let t = Bst.attach fe ~name:"b" in
+      check (Alcotest.option bytes_eq) "survived" (Some (v "one")) (Bst.find t ~key:1L)
+
+(* -- Case 5: mirror crash --------------------------------------------------- *)
+
+let test_case5_mirror_crash_service_continues () =
+  let bk, m1, m2 = mirrored_backend () in
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let t = Bst.attach fe ~name:"b" in
+  Bst.put t ~key:1L ~value:(v "before");
+  Mirror.crash m1;
+  (* Replication to the dead mirror is skipped; service continues. *)
+  Bst.put t ~key:2L ~value:(v "during");
+  check (Alcotest.option bytes_eq) "writes continue" (Some (v "during")) (Bst.find t ~key:2L);
+  (* The surviving mirror can still take over. *)
+  Backend.crash bk;
+  check Alcotest.bool "m2 elected" true
+    (match Asym_cluster.Failover.elect [ m1; m2 ] with Some m -> m == m2 | None -> false)
+
+let test_mirror_replication_counters () =
+  let bk = mk_backend () in
+  let m = Mirror.create ~name:"m" ~kind:Mirror.Nvm_backed ~capacity:(16 * 1024 * 1024) lat in
+  Backend.attach_mirror bk m;
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let t = Bst.attach fe ~name:"b" in
+  (* Session setup already replicated naming/metadata writes; the data
+     operations below must add to the stream. *)
+  let w0 = Mirror.writes_replicated m in
+  for i = 0 to 9 do
+    Bst.put t ~key:(Int64.of_int i) ~value:(v "x")
+  done;
+  check Alcotest.bool "log stream flowed to the mirror" true (Mirror.writes_replicated m > w0);
+  check Alcotest.bool "bytes accounted" true (Mirror.bytes_replicated m > 0)
+
+let test_crashed_mirror_skipped_then_restarted () =
+  let bk = mk_backend () in
+  let m = Mirror.create ~name:"m" ~kind:Mirror.Nvm_backed ~capacity:(16 * 1024 * 1024) lat in
+  Backend.attach_mirror bk m;
+  let fe = mk_client ~cfg:(Client.r ()) bk in
+  let t = Bst.attach fe ~name:"b" in
+  Mirror.crash m;
+  let w0 = Mirror.writes_replicated m in
+  Bst.put t ~key:1L ~value:(v "lost-to-mirror");
+  check Alcotest.int "crashed mirror receives nothing" w0 (Mirror.writes_replicated m);
+  Mirror.restart m;
+  Bst.put t ~key:2L ~value:(v "replicated-again");
+  check Alcotest.bool "restarted mirror receives again" true (Mirror.writes_replicated m > w0)
+
+(* -- keepAlive ---------------------------------------------------------------- *)
+
+let test_keepalive_lease_expiry () =
+  let ka = Asym_cluster.Keepalive.create ~lease:(Simtime.ms 10) (Asym_util.Rng.create ~seed:1L) in
+  Asym_cluster.Keepalive.register ka "backend" ~now:0;
+  Asym_cluster.Keepalive.register ka "fe1" ~now:0;
+  check Alcotest.bool "alive after register" true
+    (Asym_cluster.Keepalive.alive ka "backend" ~now:(Simtime.ms 5));
+  Asym_cluster.Keepalive.renew ka "backend" ~now:(Simtime.ms 8);
+  check Alcotest.bool "alive after renew" true
+    (Asym_cluster.Keepalive.alive ka "backend" ~now:(Simtime.ms 15));
+  check Alcotest.bool "fe1 expired" false
+    (Asym_cluster.Keepalive.alive ka "fe1" ~now:(Simtime.ms 15));
+  check
+    (Alcotest.list Alcotest.string)
+    "crashed list" [ "fe1" ]
+    (Asym_cluster.Keepalive.crashed ka ~now:(Simtime.ms 15))
+
+let test_keepalive_unknown_node_dead () =
+  let ka = Asym_cluster.Keepalive.create (Asym_util.Rng.create ~seed:2L) in
+  check Alcotest.bool "unknown is dead" false (Asym_cluster.Keepalive.alive ka "ghost" ~now:0)
+
+let test_keepalive_majority_skew () =
+  (* With skew, replicas disagree near the boundary; the majority rule
+     still gives a definite verdict. *)
+  let ka =
+    Asym_cluster.Keepalive.create ~replicas:5 ~lease:(Simtime.ms 1) ~skew:(Simtime.us 200)
+      (Asym_util.Rng.create ~seed:3L)
+  in
+  Asym_cluster.Keepalive.register ka "n" ~now:0;
+  check Alcotest.bool "well before expiry" true
+    (Asym_cluster.Keepalive.alive ka "n" ~now:(Simtime.us 500));
+  check Alcotest.bool "well after expiry" false
+    (Asym_cluster.Keepalive.alive ka "n" ~now:(Simtime.ms 3))
+
+(* -- abandoned locks ----------------------------------------------------------- *)
+
+let test_abandoned_lock_released_on_recovery () =
+  let bk = mk_backend () in
+  let fe1 = mk_client ~cfg:(Client.rcb ~batch_size:8 ()) ~name:"fe1" bk in
+  let h = Client.register_ds fe1 "locked-ds" in
+  Client.writer_lock fe1 h;
+  (* fe1 dies while holding the writer lock. *)
+  Client.crash fe1;
+  check
+    (Alcotest.list Alcotest.int)
+    "lock-ahead log identifies the lock" [ h.Types.lock ]
+    (Backend.abandoned_locks bk ~session:(Client.session fe1));
+  ignore (Client.recover fe1);
+  check
+    (Alcotest.list Alcotest.int)
+    "released after recovery" []
+    (Backend.abandoned_locks bk ~session:(Client.session fe1));
+  (* Another writer can now take the lock without waiting forever. *)
+  let fe2 = mk_client ~cfg:(Client.rcb ~batch_size:8 ()) ~name:"fe2" bk in
+  let h2 = Client.register_ds fe2 "locked-ds" in
+  Client.writer_lock fe2 h2;
+  Client.writer_unlock fe2 h2
+
+(* -- torn op log entry ----------------------------------------------------------- *)
+
+let test_torn_oplog_entry_ignored () =
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:64 ()) bk in
+  let t = Stack.attach fe ~name:"s" in
+  Stack.push t (v "acked");
+  (* A push whose op-log write tears: the client never got the ack, so the
+     operation never happened. Simulate by tearing the device's last
+     write (the op-log record of a second push). *)
+  Stack.push t (v "torn-victim");
+  Asym_nvm.Device.tear_last_write (Backend.device bk) ~keep:5;
+  Client.crash fe;
+  let ops = Client.recover fe in
+  (* Only the first push is recoverable. *)
+  check Alcotest.int "one replayable op" 1 (List.length ops);
+  let t = Stack.attach fe ~name:"s" in
+  let reg = Registry.create () in
+  Registry.register reg ~ds:(Stack.handle t).Types.id (Stack.replay t);
+  Registry.replay_all reg ops;
+  Client.flush fe;
+  check (Alcotest.option bytes_eq) "acked push survived" (Some (v "acked")) (Stack.peek t);
+  check Alcotest.int "exactly one element" 1 (Stack.size t)
+
+(* -- crash + replay for each remaining structure kind --------------------------- *)
+
+module Bpt = Pbptree.Make (Client)
+module Skip = Pskiplist.Make (Client)
+module Mv = Pmvbst.Make (Client)
+module Mvb = Pmvbptree.Make (Client)
+module Q = Pqueue.Make (Client)
+
+let crash_replay_roundtrip (type a) ~name
+    ~(attach : Client.t -> a)
+    ~(put : a -> int64 -> bytes -> unit)
+    ~(find : a -> int64 -> bytes option)
+    ~(replay : a -> Log.Op_entry.t -> unit)
+    ~(ds_of : a -> Types.handle) () =
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:32 ()) bk in
+  let t = attach fe in
+  (* Shuffled keys so the unbalanced trees stay shallow. *)
+  let keys = Array.init 80 (fun i -> Int64.of_int (7 * i)) in
+  Asym_util.Rng.shuffle (Asym_util.Rng.create ~seed:5L) keys;
+  Array.iter (fun k -> put t k (v (Int64.to_string k))) keys;
+  Client.crash fe;
+  let ops = Client.recover fe in
+  check Alcotest.bool (name ^ ": some ops uncovered") true (List.length ops > 0);
+  let t = attach fe in
+  let reg = Registry.create () in
+  Registry.register reg ~ds:(ds_of t).Types.id (replay t);
+  Registry.replay_all reg ops;
+  Client.flush fe;
+  Array.iter
+    (fun k ->
+      check (Alcotest.option bytes_eq)
+        (Printf.sprintf "%s key %Ld" name k)
+        (Some (v (Int64.to_string k)))
+        (find t k))
+    keys
+
+let test_crash_replay_bptree () =
+  crash_replay_roundtrip ~name:"bptree"
+    ~attach:(fun fe -> Bpt.attach fe ~name:"bpt")
+    ~put:(fun t key value -> Bpt.put t ~key ~value)
+    ~find:(fun t key -> Bpt.find t ~key)
+    ~replay:Bpt.replay ~ds_of:Bpt.handle ()
+
+let test_crash_replay_skiplist () =
+  crash_replay_roundtrip ~name:"skiplist"
+    ~attach:(fun fe -> Skip.attach fe ~name:"sl")
+    ~put:(fun t key value -> Skip.put t ~key ~value)
+    ~find:(fun t key -> Skip.find t ~key)
+    ~replay:Skip.replay ~ds_of:Skip.handle ()
+
+let test_crash_replay_mvbst () =
+  crash_replay_roundtrip ~name:"mv-bst"
+    ~attach:(fun fe -> Mv.attach fe ~name:"mv")
+    ~put:(fun t key value -> Mv.put t ~key ~value)
+    ~find:(fun t key -> Mv.find t ~key)
+    ~replay:Mv.replay ~ds_of:Mv.handle ()
+
+let test_crash_replay_mvbptree () =
+  crash_replay_roundtrip ~name:"mv-bpt"
+    ~attach:(fun fe -> Mvb.attach fe ~name:"mvb")
+    ~put:(fun t key value -> Mvb.put t ~key ~value)
+    ~find:(fun t key -> Mvb.find t ~key)
+    ~replay:Mvb.replay ~ds_of:Mvb.handle ()
+
+let test_crash_replay_queue_order () =
+  (* FIFO order must survive a crash + replay. *)
+  let bk = mk_backend () in
+  let fe = mk_client ~cfg:(Client.rcb ~batch_size:16 ()) bk in
+  let q = Q.attach fe ~name:"q" in
+  for i = 0 to 39 do
+    Q.enqueue q (v (string_of_int i))
+  done;
+  Client.crash fe;
+  let ops = Client.recover fe in
+  let q = Q.attach fe ~name:"q" in
+  let reg = Registry.create () in
+  Registry.register reg ~ds:(Q.handle q).Types.id (Q.replay q);
+  Registry.replay_all reg ops;
+  Client.flush fe;
+  check Alcotest.int "size" 40 (Q.size q);
+  for i = 0 to 39 do
+    check (Alcotest.option bytes_eq)
+      (Printf.sprintf "dequeue %d" i)
+      (Some (v (string_of_int i)))
+      (Q.dequeue q)
+  done
+
+(* -- property: random crash points never lose acked, flushed state ------------- *)
+
+let prop_crash_recover_consistent =
+  QCheck.Test.make ~count:25 ~name:"crash at random op: recovery restores all acked ops"
+    QCheck.(pair (int_range 1 40) (int_bound 1000))
+    (fun (crash_after, seed) ->
+      let bk = mk_backend () in
+      let fe = mk_client ~cfg:(Client.rcb ~batch_size:7 ()) bk in
+      let t = Hash.attach ~nbuckets:32 fe ~name:"h" in
+      let rng = Asym_util.Rng.create ~seed:(Int64.of_int seed) in
+      let model = Hashtbl.create 16 in
+      for i = 0 to crash_after - 1 do
+        let key = Int64.of_int (Asym_util.Rng.int rng 20) in
+        if Asym_util.Rng.int rng 4 = 0 then begin
+          Hashtbl.remove model key;
+          ignore (Hash.delete t ~key)
+        end
+        else begin
+          let value = v (string_of_int i) in
+          Hashtbl.replace model key value;
+          Hash.put t ~key ~value
+        end
+      done;
+      Client.crash fe;
+      let ops = Client.recover fe in
+      let t = Hash.attach ~nbuckets:32 fe ~name:"h" in
+      let reg = Registry.create () in
+      Registry.register reg ~ds:(Hash.handle t).Types.id (Hash.replay t);
+      Registry.replay_all reg ops;
+      Client.flush fe;
+      Hashtbl.fold (fun k value acc -> acc && Hash.get t ~key:k = Some value) model true)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ("case1-reader", [ Alcotest.test_case "reader crash" `Quick test_case1_reader_crash ]);
+      ( "case2-writer",
+        [
+          Alcotest.test_case "all flushed" `Quick test_case2a_writer_crash_all_flushed;
+          Alcotest.test_case "mid batch" `Quick test_case2c_writer_crash_mid_batch;
+          Alcotest.test_case "partial batch" `Quick test_case2_partial_batch_replay;
+          Alcotest.test_case "torn memlog detected" `Quick test_case2b_torn_memlog_detected;
+        ] );
+      ( "case3-backend-transient",
+        [
+          Alcotest.test_case "restart and resume" `Quick test_case3_backend_transient;
+          Alcotest.test_case "replay idempotent" `Quick test_case3_restart_replay_idempotent;
+        ] );
+      ( "case4-promotion",
+        [
+          Alcotest.test_case "mirror tracks backend" `Quick test_mirror_image_tracks_backend;
+          Alcotest.test_case "promote nvm mirror" `Quick test_case4_promote_nvm_mirror;
+          Alcotest.test_case "promote ssd mirror" `Quick test_case4_promote_ssd_mirror;
+          Alcotest.test_case "failover helper" `Quick test_case4_failover_helper;
+        ] );
+      ( "case5-mirror",
+        [
+          Alcotest.test_case "service continues" `Quick test_case5_mirror_crash_service_continues;
+          Alcotest.test_case "replication counters" `Quick test_mirror_replication_counters;
+          Alcotest.test_case "crashed mirror skipped/restarted" `Quick
+            test_crashed_mirror_skipped_then_restarted;
+        ] );
+      ( "keepalive",
+        [
+          Alcotest.test_case "lease expiry" `Quick test_keepalive_lease_expiry;
+          Alcotest.test_case "unknown node" `Quick test_keepalive_unknown_node_dead;
+          Alcotest.test_case "majority with skew" `Quick test_keepalive_majority_skew;
+        ] );
+      ( "locks",
+        [ Alcotest.test_case "abandoned lock released" `Quick test_abandoned_lock_released_on_recovery ]
+      );
+      ("oplog", [ Alcotest.test_case "torn op ignored" `Quick test_torn_oplog_entry_ignored ]);
+      ( "crash-replay-per-structure",
+        [
+          Alcotest.test_case "bptree" `Quick test_crash_replay_bptree;
+          Alcotest.test_case "skiplist" `Quick test_crash_replay_skiplist;
+          Alcotest.test_case "mv-bst" `Quick test_crash_replay_mvbst;
+          Alcotest.test_case "mv-bptree" `Quick test_crash_replay_mvbptree;
+          Alcotest.test_case "queue order" `Quick test_crash_replay_queue_order;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_crash_recover_consistent ]);
+    ]

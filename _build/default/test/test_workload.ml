@@ -1,0 +1,143 @@
+open Asym_workload
+
+let check = Alcotest.check
+let rng seed = Asym_util.Rng.create ~seed
+
+(* ---------------- YCSB ---------------- *)
+
+let test_ycsb_put_ratio () =
+  let g = Ycsb.create ~distribution:Ycsb.Uniform ~keyspace:1000 ~put_ratio:0.3 (rng 1L) in
+  let puts = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match Ycsb.next g with Ycsb.Put _ -> incr puts | Ycsb.Get _ -> ()
+  done;
+  let ratio = float_of_int !puts /. float_of_int n in
+  check Alcotest.bool "put ratio close to 0.3" true (abs_float (ratio -. 0.3) < 0.02)
+
+let test_ycsb_pure_read_and_write () =
+  let reads = Ycsb.create ~distribution:Ycsb.Uniform ~keyspace:10 ~put_ratio:0.0 (rng 2L) in
+  let writes = Ycsb.create ~distribution:Ycsb.Uniform ~keyspace:10 ~put_ratio:1.0 (rng 3L) in
+  for _ = 1 to 100 do
+    (match Ycsb.next reads with Ycsb.Get _ -> () | Ycsb.Put _ -> Alcotest.fail "unexpected put");
+    match Ycsb.next writes with Ycsb.Put _ -> () | Ycsb.Get _ -> Alcotest.fail "unexpected get"
+  done
+
+let test_ycsb_keys_in_range () =
+  let g = Ycsb.create ~distribution:(Ycsb.Zipfian 0.99) ~keyspace:500 ~put_ratio:0.5 (rng 4L) in
+  for _ = 1 to 10_000 do
+    let k = Int64.to_int (Ycsb.key g) in
+    if k < 0 || k >= 500 then Alcotest.failf "key out of range: %d" k
+  done
+
+let test_ycsb_value_size () =
+  let g = Ycsb.create ~value_size:128 ~distribution:Ycsb.Uniform ~keyspace:10 ~put_ratio:1.0 (rng 5L) in
+  match Ycsb.next g with
+  | Ycsb.Put (_, v) -> check Alcotest.int "value size" 128 (Bytes.length v)
+  | Ycsb.Get _ -> Alcotest.fail "expected put"
+
+let test_ycsb_zipf_skewed_vs_uniform () =
+  let count_hot dist =
+    let g = Ycsb.create ~distribution:dist ~keyspace:1000 ~put_ratio:0.0 (rng 6L) in
+    let freq = Hashtbl.create 64 in
+    for _ = 1 to 20_000 do
+      let k = Ycsb.key g in
+      Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k))
+    done;
+    Hashtbl.fold (fun _ c m -> max c m) freq 0
+  in
+  check Alcotest.bool "zipf has a much hotter key" true
+    (count_hot (Ycsb.Zipfian 0.99) > 3 * count_hot Ycsb.Uniform)
+
+let test_distribution_names () =
+  check Alcotest.string "uniform" "uniform" (Ycsb.distribution_name Ycsb.Uniform);
+  check Alcotest.string "zipf" "zipf(0.90)" (Ycsb.distribution_name (Ycsb.Zipfian 0.9))
+
+let test_ycsb_presets () =
+  let count_puts preset =
+    let g = Ycsb.of_preset preset ~keyspace:100 (rng 20L) in
+    let puts = ref 0 in
+    for _ = 1 to 2_000 do
+      match Ycsb.next g with Ycsb.Put _ -> incr puts | Ycsb.Get _ -> ()
+    done;
+    !puts
+  in
+  let a = count_puts Ycsb.A and b = count_puts Ycsb.B and c = count_puts Ycsb.C in
+  check Alcotest.bool "A is update-heavy" true (a > 900 && a < 1100);
+  check Alcotest.bool "B is read-mostly" true (b > 50 && b < 160);
+  check Alcotest.int "C is read-only" 0 c;
+  check Alcotest.string "names" "A" (Ycsb.preset_name Ycsb.A)
+
+(* ---------------- industry trace ---------------- *)
+
+let test_trace_value_sizes_power_law () =
+  let t = Trace.create ~kind:(`Kv 1.0) (rng 7L) in
+  let sizes = Array.init 20_000 (fun _ -> Trace.value_size t) in
+  Array.iter
+    (fun s -> if s < 64 || s > 8192 then Alcotest.failf "value size out of range: %d" s)
+    sizes;
+  (* Power law: the median must be far below the maximum. *)
+  let sorted = Array.copy sizes in
+  Array.sort compare sorted;
+  let median = sorted.(Array.length sorted / 2) in
+  let mx = sorted.(Array.length sorted - 1) in
+  check Alcotest.bool "heavy tail" true (median * 8 < mx);
+  check Alcotest.bool "mostly small" true (median < 512)
+
+let test_trace_fifo_mix () =
+  let t = Trace.create ~kind:(`Fifo 0.7) (rng 8L) in
+  let pushes = ref 0 and pops = ref 0 in
+  for _ = 1 to 10_000 do
+    match Trace.next t with
+    | Trace.Push _ -> incr pushes
+    | Trace.Pop -> incr pops
+    | Trace.Put _ | Trace.Get _ -> Alcotest.fail "kv op from fifo trace"
+  done;
+  let ratio = float_of_int !pushes /. 10_000.0 in
+  check Alcotest.bool "push ratio" true (abs_float (ratio -. 0.7) < 0.02)
+
+let test_trace_kv_mix () =
+  let t = Trace.create ~kind:(`Kv 0.25) (rng 9L) in
+  let puts = ref 0 and gets = ref 0 in
+  for _ = 1 to 10_000 do
+    match Trace.next t with
+    | Trace.Put _ -> incr puts
+    | Trace.Get _ -> incr gets
+    | Trace.Push _ | Trace.Pop -> Alcotest.fail "fifo op from kv trace"
+  done;
+  check Alcotest.bool "put ratio" true
+    (abs_float ((float_of_int !puts /. 10_000.0) -. 0.25) < 0.02)
+
+let test_trace_keys_power_law () =
+  let t = Trace.create ~keyspace:10_000 ~kind:(`Kv 0.0) (rng 10L) in
+  let freq = Hashtbl.create 64 in
+  for _ = 1 to 30_000 do
+    match Trace.next t with
+    | Trace.Get k ->
+        Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k))
+    | _ -> ()
+  done;
+  let hottest = Hashtbl.fold (fun _ c m -> max c m) freq 0 in
+  check Alcotest.bool "popular key dominates" true (hottest > 300)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "ycsb",
+        [
+          Alcotest.test_case "put ratio" `Quick test_ycsb_put_ratio;
+          Alcotest.test_case "pure read/write" `Quick test_ycsb_pure_read_and_write;
+          Alcotest.test_case "keys in range" `Quick test_ycsb_keys_in_range;
+          Alcotest.test_case "value size" `Quick test_ycsb_value_size;
+          Alcotest.test_case "zipf skew" `Quick test_ycsb_zipf_skewed_vs_uniform;
+          Alcotest.test_case "names" `Quick test_distribution_names;
+          Alcotest.test_case "core presets" `Quick test_ycsb_presets;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "value sizes power law" `Quick test_trace_value_sizes_power_law;
+          Alcotest.test_case "fifo mix" `Quick test_trace_fifo_mix;
+          Alcotest.test_case "kv mix" `Quick test_trace_kv_mix;
+          Alcotest.test_case "key popularity power law" `Quick test_trace_keys_power_law;
+        ] );
+    ]
