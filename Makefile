@@ -1,0 +1,35 @@
+# Convenience wrappers around dune. `make check` is the tier-1 gate:
+# everything must build and every test suite must pass. Formatting is
+# checked only when ocamlformat is installed (the CI container does not
+# ship it; .ocamlformat pins the version for environments that do).
+
+.PHONY: all build test fmt fmt-check check bench demo clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; \
+	then dune build @fmt --auto-promote; \
+	else echo "ocamlformat not installed; skipping fmt"; fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; \
+	then dune build @fmt; \
+	else echo "ocamlformat not installed; skipping fmt-check"; fi
+
+check: build test fmt-check
+
+bench:
+	dune exec bench/main.exe -- all
+
+demo:
+	dune exec bin/asymnvm.exe -- demo
+
+clean:
+	dune clean

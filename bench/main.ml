@@ -22,6 +22,7 @@ let run_one name full =
   let sc = scale_of full in
   let dur = duration_of full in
   match name with
+  | "table1" -> print_report (Experiments.table1 sc)
   | "table2" -> print_report (Experiments.table2 sc)
   | "table3" -> print_report (Experiments.table3 sc)
   | "fig6" -> print_report (Experiments.fig6 sc)
@@ -46,7 +47,7 @@ let run_one name full =
 
 let experiments =
   [
-    "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+    "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
     "cache_policy"; "lock_bench"; "ablation"; "sensitivity"; "latency"; "ycsb";
   ]
 
@@ -64,6 +65,7 @@ let sub cmd_name doc =
 
 let cmds =
   [
+    sub "table1" "Table 1: RDMA verbs and wire bytes per operation";
     sub "table2" "Table 2: allocator comparison";
     sub "table3" "Table 3: overall performance, all configurations";
     sub "fig6" "Figure 6: throughput vs batch size";

@@ -2,13 +2,53 @@
 
      asymnvm layout --capacity 64   print the device layout for a capacity
      asymnvm demo                   end-to-end put/get/crash/recover run
-     asymnvm drill                  exercise all five §7.2 failure cases *)
+     asymnvm drill                  exercise all five §7.2 failure cases
+     asymnvm trace                  traced multi-phase run + Chrome JSON
+
+   demo and drill also accept --trace FILE to record the same run. *)
 
 open Cmdliner
 open Asym_core
 open Asym_sim
+module Obs = Asym_obs
+module Obs_report = Asym_harness.Obs_report
 
 let lat = Latency.default
+
+(* -- tracing ---------------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable the observability subsystem for this run and write a Chrome trace_event \
+           JSON document to $(docv) (loadable in Perfetto or chrome://tracing).")
+
+(* Run [f] with observability on when a trace file was requested; on the
+   way out write the trace and print the plain-text summaries, even if
+   [f] raised (a crash drill mid-run should still leave a trace). *)
+let with_trace file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+      Obs.set_enabled true;
+      Obs.reset ();
+      Obs_report.reset_phases ();
+      Fun.protect f ~finally:(fun () ->
+          (try
+             Obs.Export_chrome.write_file path;
+             Asym_harness.Report.print (Obs_report.span_summary ());
+             Asym_harness.Report.print (Obs_report.counter_summary ());
+             Fmt.pr "@.trace: %d events (%d dropped) written to %s@."
+               (List.length (Obs.Span.events ()))
+               (Obs.Span.dropped ()) path
+           with Sys_error msg ->
+             Fmt.epr "asymnvm: cannot write trace: %s@." msg;
+             Obs.set_enabled false;
+             exit 1);
+          Obs.set_enabled false)
 
 (* -- layout ---------------------------------------------------------------- *)
 
@@ -54,7 +94,8 @@ let layout_cmd =
 module Bpt = Asym_structs.Pbptree.Make (Client)
 
 let demo_cmd =
-  let run n =
+  let run n trace =
+    with_trace trace @@ fun () ->
     let bk = Backend.create ~name:"backend" ~capacity:(64 * 1024 * 1024) lat in
     let clock = Clock.create ~name:"fe" () in
     let fe = Client.connect ~name:"fe" (Client.rcb ()) bk ~clock in
@@ -73,14 +114,16 @@ let demo_cmd =
     Fmt.pr "demo OK@."
   in
   let n = Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations to run") in
-  Cmd.v (Cmd.info "demo" ~doc:"End-to-end insert/crash/recover run") Term.(const run $ n)
+  Cmd.v (Cmd.info "demo" ~doc:"End-to-end insert/crash/recover run")
+    Term.(const run $ n $ trace_arg)
 
 (* -- drill ------------------------------------------------------------------ *)
 
 module H = Asym_structs.Phash.Make (Client)
 
 let drill_cmd =
-  let run () =
+  let run trace =
+    with_trace trace @@ fun () ->
     let ok name cond =
       Fmt.pr "%-38s %s@." name (if cond then "OK" else "FAILED");
       if not cond then exit 1
@@ -129,8 +172,59 @@ let drill_cmd =
     Fmt.pr "drill complete@."
   in
   Cmd.v (Cmd.info "drill" ~doc:"Exercise the five failure cases of paper §7.2")
-    Term.(const run $ const ())
+    Term.(const run $ trace_arg)
+
+(* -- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run n out =
+    Obs.set_enabled true;
+    Obs.reset ();
+    Obs_report.reset_phases ();
+    let bk = Backend.create ~name:"backend" ~capacity:(64 * 1024 * 1024) lat in
+    let clock = Clock.create ~name:"fe" () in
+    let fe = Client.connect ~name:"fe" (Client.rcb ()) bk ~clock in
+    let t = Bpt.attach fe ~name:"trace" in
+    let rng = Asym_util.Rng.create ~seed:1L in
+    let key () = Int64.of_int (Asym_util.Rng.int rng (4 * n)) in
+    Obs_report.phase "insert" (fun () ->
+        for _ = 1 to n do
+          let k = key () in
+          Bpt.put t ~key:k ~value:(Bytes.of_string (Int64.to_string k))
+        done;
+        Client.flush fe);
+    Obs_report.phase "lookup" (fun () ->
+        for _ = 1 to n do
+          ignore (Bpt.find t ~key:(key ()))
+        done);
+    Obs_report.phase "crash+recover" (fun () ->
+        Client.crash fe;
+        ignore (Client.recover fe));
+    (try Obs.Export_chrome.write_file out
+     with Sys_error msg ->
+       Fmt.epr "asymnvm: cannot write trace: %s@." msg;
+       exit 1);
+    Asym_harness.Report.print (Obs_report.phases_report ());
+    Asym_harness.Report.print (Obs_report.span_summary ());
+    Asym_harness.Report.print (Obs_report.counter_summary ());
+    Fmt.pr "@.trace: %d events (%d dropped) over %a of virtual time written to %s@."
+      (List.length (Obs.Span.events ()))
+      (Obs.Span.dropped ()) Simtime.pp (Clock.now clock) out;
+    Obs.set_enabled false
+  in
+  let n =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per phase")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a three-phase workload (insert/lookup/recover) with tracing on")
+    Term.(const run $ n $ out)
 
 let () =
   let info = Cmd.info "asymnvm" ~doc:"AsymNVM framework utility" in
-  exit (Cmd.eval (Cmd.group info [ layout_cmd; demo_cmd; drill_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ layout_cmd; demo_cmd; drill_cmd; trace_cmd ]))

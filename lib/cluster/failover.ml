@@ -7,6 +7,7 @@ let elect mirrors =
   | None -> ( match live with m :: _ -> Some m | [] -> None)
 
 let promote ?(name = "promoted-backend") m lat =
+  Asym_obs.Span.instant ~cat:"fault" ~track:(Mirror.name m) "mirror.promote";
   match Mirror.kind m with
   | Mirror.Nvm_backed -> Backend.of_device ~name (Mirror.device m) lat
   | Mirror.Ssd_backed ->

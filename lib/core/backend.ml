@@ -214,6 +214,13 @@ let apply_tx t ~at ~ring_base ~ring_off (tx : Log.Tx.t) raw =
   in
   let start = Timeline.acquire t.cpu_tl ~at ~dur in
   let stop = start + dur in
+  if Asym_obs.enabled () then begin
+    Asym_obs.Registry.inc "log.replayed_txs";
+    Asym_obs.Registry.add "log.replayed_entries" (List.length entries);
+    Asym_obs.Registry.add "log.replayed_bytes" (Bytes.length raw);
+    Asym_obs.Span.complete ~cat:"log" ~track:(Timeline.name t.cpu_tl) ~ts:start ~dur
+      "log.replay_tx"
+  end;
   (match Hashtbl.find_opt t.ds_by_id tx.Log.Tx.ds with
   | Some r ->
       ignore (Device.fetch_add t.dev ~addr:r.sn 1L);
@@ -308,6 +315,7 @@ let replay_pending t ~at s =
     | `Empty -> continue_ := false
     | `Torn ->
         torn := true;
+        Asym_obs.Span.instant ~cat:"fault" ~track:t.bname ~ts:!time "log.torn_tail";
         continue_ := false
   done;
   persist_session t ~at:!time s;
@@ -426,9 +434,11 @@ let session_cursors t ~session =
 
 let crash ?torn_keep t =
   (match torn_keep with Some keep -> Device.tear_last_write t.dev ~keep | None -> ());
-  t.crashed <- true
+  t.crashed <- true;
+  Asym_obs.Span.instant ~cat:"fault" ~track:t.bname "backend.crash"
 
 let restart t =
+  Asym_obs.Span.instant ~cat:"fault" ~track:t.bname "backend.restart";
   Device.crash_restart t.dev;
   t.layout <- Layout.load t.dev;
   t.naming <- Naming.load t.dev ~base:t.layout.Layout.naming_base ~len:t.layout.Layout.naming_len;
@@ -626,6 +636,18 @@ let handle t ~at ~session req =
       | None -> Rpc_msg.R_error "no session"
       | Some sid -> Rpc_msg.R_cursors (session_cursors t ~session:sid))
 
+let req_label = function
+  | Rpc_msg.Open_session _ -> "open_session"
+  | Rpc_msg.Close_session -> "close_session"
+  | Rpc_msg.Malloc _ -> "malloc"
+  | Rpc_msg.Free _ -> "free"
+  | Rpc_msg.Free_batch _ -> "free_batch"
+  | Rpc_msg.Alloc_meta _ -> "alloc_meta"
+  | Rpc_msg.Name_set _ -> "name_set"
+  | Rpc_msg.Name_get _ -> "name_get"
+  | Rpc_msg.Register_ds _ -> "register_ds"
+  | Rpc_msg.Get_cursors -> "get_cursors"
+
 let rpc t ~conn ~session req =
   check_alive t;
   let clk = Verbs.client_clock conn in
@@ -645,6 +667,12 @@ let rpc t ~conn ~session req =
   let proc = rpc_base_ns + Latency.nvm_write_cost t.lat (after - before) in
   let start = Timeline.acquire t.cpu_tl ~at:arrival ~dur:proc in
   Clock.wait_until clk (start + proc);
+  if Asym_obs.enabled () then begin
+    let op = req_label req in
+    Asym_obs.Registry.inc ~labels:[ ("op", op) ] "backend.rpcs";
+    Asym_obs.Span.complete ~cat:"rpc" ~track:(Timeline.name t.cpu_tl) ~ts:start ~dur:proc
+      ("rpc." ^ op)
+  end;
   (* Response: one-sided read of the response slot. *)
   let respb = Rpc_msg.encode_response resp in
   let resp_payload = Latency.rdma_payload_ns t.lat (Bytes.length respb + 16) in

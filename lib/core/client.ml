@@ -73,6 +73,7 @@ type t = {
   mutable oplog_head : int;
   mutable next_opnum : int64;
   mutable cur_op : int64 option;
+  mutable op_started : Simtime.t;  (* span anchor for the current op *)
   mutable unsignaled_posts : int;
   mutable falloc : Front_alloc.t;
   handles : (string, Types.handle) Hashtbl.t;
@@ -93,6 +94,7 @@ let flushes t = t.n_flushes
 let ops_executed t = t.n_ops
 let read_retries t = t.n_retries
 let rdma_ops t = Verbs.ops_posted t.conn
+let rdma_bytes t = Verbs.bytes_on_wire t.conn
 let allocator t = t.falloc
 let batch_size t = t.cfg.batch_size
 
@@ -198,6 +200,7 @@ let connect ?(name = "frontend") ?rng cfg bk ~clock =
       (* opnum 0 is reserved: opn_covered = 0 means "nothing covered". *)
       next_opnum = 1L;
       cur_op = None;
+      op_started = 0;
       unsignaled_posts = 0;
       falloc = Front_alloc.create
           {
@@ -261,8 +264,12 @@ let read_via_cache t c ~addr ~len =
           Clock.advance t.clk
             (t.lat.Latency.dram_ns
             + if t.cfg.cache_policy = Cache.Lru then lru_touch_ns else 0);
+          if Asym_obs.enabled () then
+            Asym_obs.Registry.inc ~labels:[ ("event", "hit") ] "client.cache";
           b
       | None ->
+          if Asym_obs.enabled () then
+            Asym_obs.Registry.inc ~labels:[ ("event", "miss") ] "client.cache";
           let cap = Asym_nvm.Device.capacity (Backend.device t.bk) in
           let plen = min page (cap - page_base) in
           let b = Verbs.read t.conn ~addr:page_base ~len:plen in
@@ -310,6 +317,7 @@ let oplog_append ?(signaled = None) t raw =
   let signaled = match signaled with Some s -> s | None -> t.cfg.oplog_signaled in
   let ring_base, cap = Backend.oplog_ring t.bk ~session:t.sid in
   let len = Bytes.length raw in
+  let obs_t0 = if Asym_obs.enabled () then Clock.now t.clk else 0 in
   if t.oplog_head + len > cap then begin
     (* Wrap: drop a marker and continue at the ring base. *)
     Verbs.write t.conn ~addr:(ring_base + t.oplog_head) Log.Op_entry.wrap_marker;
@@ -329,10 +337,16 @@ let oplog_append ?(signaled = None) t raw =
   t.oplog_head <- offset + len;
   Backend.note_heads t.bk ~session:t.sid ~oplog_head:t.oplog_head ();
   Backend.replicate_raw t.bk ~at:(Clock.now t.clk) ~addr:(ring_base + offset) raw;
+  if Asym_obs.enabled () then begin
+    Asym_obs.Registry.add "log.appended_bytes" len;
+    Asym_obs.Span.complete ~cat:"log" ~track:t.cname ~ts:obs_t0
+      ~dur:(Clock.now t.clk - obs_t0) "oplog.append"
+  end;
   offset
 
 let op_begin t ~ds ~optype ~params =
   check_live t;
+  t.op_started <- Clock.now t.clk;
   let opnum = t.next_opnum in
   t.next_opnum <- Int64.add opnum 1L;
   if use_op_log t.cfg then begin
@@ -433,6 +447,7 @@ let run_pending_cas t =
 
 let flush t =
   check_live t;
+  let obs_t0 = if Asym_obs.enabled () then Clock.now t.clk else 0 in
   if t.pending <> [] || t.pending_op_list <> [] || Hashtbl.length t.pending_cas > 0 then begin
     (* One transaction record per consecutive run of same-structure
        entries. Runs — rather than one group per structure — keep the
@@ -493,7 +508,13 @@ let flush t =
     t.pending_entries <- 0;
     t.pending_bytes <- 0;
     t.pending_op_list <- [];
-    t.n_flushes <- t.n_flushes + 1
+    t.n_flushes <- t.n_flushes + 1;
+    if Asym_obs.enabled () then begin
+      Asym_obs.Registry.inc "client.flushes";
+      Asym_obs.Registry.add "log.tx_wire_bytes" wire;
+      Asym_obs.Span.complete ~cat:"log" ~track:t.cname ~ts:obs_t0
+        ~dur:(Clock.now t.clk - obs_t0) "client.flush"
+    end
   end;
   Overlay.clear t.overlay;
   t.ops_since_flush <- 0
@@ -510,12 +531,18 @@ let persist_fence t =
   Clock.wait_until t.clk (Timeline.free_at (Backend.cpu t.bk))
 
 let op_end t ~ds =
-  ignore ds;
   check_live t;
   Clock.advance t.clk t.lat.Latency.cpu_op_ns;
   t.cur_op <- None;
   t.n_ops <- t.n_ops + 1;
   t.ops_since_flush <- t.ops_since_flush + 1;
+  if Asym_obs.enabled () then begin
+    let now = Clock.now t.clk in
+    Asym_obs.Registry.inc ~labels:[ ("ds", string_of_int ds) ] "client.ops";
+    Asym_obs.Registry.observe "client.op_ns" (float_of_int (now - t.op_started));
+    Asym_obs.Span.complete ~cat:"core" ~track:t.cname ~ts:t.op_started
+      ~dur:(now - t.op_started) "client.op"
+  end;
   match t.cfg.mode with
   | `Direct -> ()
   | `Logged ->
@@ -622,6 +649,7 @@ let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
     in
     if conflicted && n < max_read_retries then begin
       t.n_retries <- t.n_retries + 1;
+      if Asym_obs.enabled () then Asym_obs.Registry.inc "client.read_retries";
       (match t.cache with Some c -> Cache.clear c | None -> ());
       attempt (n + 1)
     end
@@ -666,7 +694,8 @@ let crash t =
   drop_volatile t;
   Hashtbl.reset t.handles;
   Hashtbl.reset t.section_started;
-  t.crashed <- true
+  t.crashed <- true;
+  Asym_obs.Span.instant ~cat:"fault" ~track:t.cname ~ts:(Clock.now t.clk) "client.crash"
 
 let abort_tx t = drop_volatile t
 
@@ -680,6 +709,8 @@ let resync_cursors t =
 
 let recover t =
   t.crashed <- false;
+  let obs_t0 = if Asym_obs.enabled () then Clock.now t.clk else 0 in
+  Asym_obs.Span.instant ~cat:"fault" ~track:t.cname ~ts:obs_t0 "client.recover_begin";
   (match
      Backend.rpc t.bk ~conn:t.conn ~session:None
        (Rpc_msg.Open_session { client_name = t.cname; reuse = Some t.sid })
@@ -699,6 +730,11 @@ let recover t =
   (* Reading the op-log tail back costs one round trip plus payload. *)
   let bytes = List.fold_left (fun acc o -> acc + Bytes.length o.Log.Op_entry.params + 22) 0 ops in
   Clock.advance t.clk (t.lat.Latency.rdma_rtt_ns + Latency.rdma_payload_ns t.lat bytes);
+  if Asym_obs.enabled () then begin
+    Asym_obs.Registry.add "log.recovered_ops" (List.length ops);
+    Asym_obs.Span.complete ~cat:"fault" ~track:t.cname ~ts:obs_t0
+      ~dur:(Clock.now t.clk - obs_t0) "client.recover"
+  end;
   ops
 
 let reconnect_after_backend_restart t =

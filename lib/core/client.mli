@@ -95,6 +95,11 @@ val abort_tx : t -> unit
 (** {2 Statistics} *)
 
 val rdma_ops : t -> int
+
+val rdma_bytes : t -> int
+(** Total bytes this client put on the wire ({!Asym_rdma.Verbs}
+    accounting) — the paper's bytes-per-operation argument. *)
+
 val flushes : t -> int
 val ops_executed : t -> int
 val allocator : t -> Front_alloc.t

@@ -38,7 +38,12 @@ module Tx = struct
     let e2 = Codec.Enc.create ~capacity:(Bytes.length body + 4) () in
     Codec.Enc.bytes e2 body;
     Codec.Enc.u32 e2 crc;
-    Codec.Enc.to_bytes e2
+    let raw = Codec.Enc.to_bytes e2 in
+    if Asym_obs.enabled () then begin
+      Asym_obs.Registry.inc "log.tx_encoded";
+      Asym_obs.Registry.add "log.tx_encoded_bytes" (Bytes.length raw)
+    end;
+    raw
 
   (* Header (1+4+8+4) + per entry (1+8+4 + payload) + commit (1) + crc (4).
      An entry whose value is already durable in the operation log ships a
@@ -111,7 +116,12 @@ module Op_entry = struct
     let e2 = Codec.Enc.create ~capacity:(Bytes.length body + 4) () in
     Codec.Enc.bytes e2 body;
     Codec.Enc.u32 e2 crc;
-    Codec.Enc.to_bytes e2
+    let raw = Codec.Enc.to_bytes e2 in
+    if Asym_obs.enabled () then begin
+      Asym_obs.Registry.inc "log.op_encoded";
+      Asym_obs.Registry.add "log.op_encoded_bytes" (Bytes.length raw)
+    end;
+    raw
 
   type scan_result = Record of t * int | Torn | Wrap | Empty
 

@@ -285,6 +285,50 @@ let table3 sc =
   t
 
 (* ------------------------------------------------------------------ *)
+(* Table 1 — RDMA wire cost per operation                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Paper Table 1 counts network round trips per operation; here every
+   asymmetric cell of the Table-3 matrix gets its measured verbs/op and
+   payload bytes/op, from the Verbs counters surfaced through
+   {!Runner.result}. The Table-3 support matrix applies (no cache column
+   for queue/stack, no batching for the O(1) hash table). *)
+let table1 sc =
+  let t =
+    Report.create ~title:"Table 1: RDMA wire cost per operation (100% write)"
+      ~header:[ "Benchmark"; "Config"; "KOPS"; "verbs/op"; "bytes/op" ]
+      ~notes:
+        [
+          "verbs/op counts posted verbs including unsignaled writes and atomics";
+          "bytes/op is payload on the wire (headers excluded), per measured operation";
+        ]
+      ()
+  in
+  let per_op n r = float_of_int n /. float_of_int r.Runner.ops in
+  let cell kind cfg =
+    let r = Runner.run_asym ~rig:(rig ()) ~cfg ~kind ~preload:sc.preload ~ops:sc.ops () in
+    Report.add_row t
+      [
+        Runner.ds_name kind;
+        Client.config_name cfg;
+        cell_kops r.Runner.kops;
+        Printf.sprintf "%.2f" (per_op r.Runner.verbs r);
+        Printf.sprintf "%.1f" (per_op r.Runner.wire_bytes r);
+      ]
+  in
+  let fifo_rcb () = { (Client.rcb ()) with Client.oplog_signaled = false } in
+  List.iter
+    (fun kind ->
+      let cfgs =
+        if Runner.is_fifo kind then [ Client.naive (); Client.r (); fifo_rcb () ]
+        else if kind = Runner.Hash_table then [ Client.naive (); Client.r (); Client.rc () ]
+        else [ Client.naive (); Client.r (); Client.rc (); Client.rcb () ]
+      in
+      List.iter (cell kind) cfgs)
+    Runner.all_ds;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6 — batching sweep                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -23,6 +23,11 @@ val run_bank_asym :
 
 val run_bank_sym : cfg:Asym_baseline.Local_store.config -> sc:scale -> unit -> float
 
+val table1 : scale -> Report.t
+(** RDMA wire cost per operation: KOPS, verbs/op and payload bytes/op for
+    every asymmetric cell of the Table-3 matrix, from the NIC counters
+    ({!Asym_rdma.Verbs.ops_posted} / [bytes_on_wire]). *)
+
 val table2 : scale -> Report.t
 (** Allocator comparison: Glibc / Pmem / RPC-only / two-tier at 128 B and
     1024 B slabs (§5.2, Table 2). *)

@@ -1,0 +1,85 @@
+module Obs = Asym_obs
+
+let span_summary ?(top = 15) () =
+  let t =
+    Report.create ~title:"Observability: top spans by total simulated time"
+      ~header:[ "span"; "count"; "total"; "mean"; "max" ]
+      ()
+  in
+  List.iter
+    (fun (r : Obs.Summary.span_row) ->
+      Report.add_row t
+        [
+          r.Obs.Summary.sname;
+          string_of_int r.Obs.Summary.count;
+          Obs.Summary.format_ns r.Obs.Summary.total_ns;
+          Obs.Summary.format_ns (int_of_float r.Obs.Summary.mean_ns);
+          Obs.Summary.format_ns r.Obs.Summary.max_ns;
+        ])
+    (Obs.Summary.spans ~top ());
+  t
+
+let counter_summary ?(top = 15) () =
+  let t =
+    Report.create ~title:"Observability: top counters" ~header:[ "counter"; "value" ] ()
+  in
+  List.iter
+    (fun (r : Obs.Summary.counter_row) ->
+      Report.add_row t [ r.Obs.Summary.cname; string_of_int r.Obs.Summary.value ])
+    (Obs.Summary.counters ~top ());
+  t
+
+(* -- phases -------------------------------------------------------------- *)
+
+let snapshots : (string * Obs.Json.t) list ref = ref []
+
+let phase label f =
+  if not (Obs.enabled ()) then f ()
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        snapshots := !snapshots @ [ (label, Obs.Registry.to_json ()) ];
+        Obs.Registry.reset ())
+      f
+
+let phase_snapshots () = !snapshots
+let reset_phases () = snapshots := []
+
+(* Pull one counter total back out of a snapshot document. *)
+let counter_total name json =
+  match Obs.Json.member "counters" json with
+  | Some (Obs.Json.List series) ->
+      List.fold_left
+        (fun acc s ->
+          match (Obs.Json.member "name" s, Obs.Json.member "value" s) with
+          | Some (Obs.Json.String n), Some v when n = name -> acc + Obs.Json.to_int v
+          | _ -> acc)
+        0 series
+  | _ -> 0
+
+let count_series json =
+  [ "counters"; "gauges"; "histograms" ]
+  |> List.fold_left
+       (fun acc k ->
+         match Obs.Json.member k json with
+         | Some (Obs.Json.List xs) -> acc + List.length xs
+         | _ -> acc)
+       0
+
+let phases_report () =
+  let t =
+    Report.create ~title:"Observability: per-phase snapshots"
+      ~header:[ "phase"; "series"; "rdma verbs"; "wire bytes" ]
+      ()
+  in
+  List.iter
+    (fun (label, json) ->
+      Report.add_row t
+        [
+          label;
+          string_of_int (count_series json);
+          string_of_int (counter_total "rdma.verbs" json);
+          string_of_int (counter_total "rdma.wire_bytes" json);
+        ])
+    !snapshots;
+  t

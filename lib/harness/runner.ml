@@ -334,6 +334,8 @@ type result = {
   retries : int;
   cache_hits : int;
   cache_misses : int;
+  verbs : int;  (* RDMA verbs posted during the measured window *)
+  wire_bytes : int;  (* payload bytes those verbs moved *)
   lat_mean_us : float;
   lat_p50_us : float;
   lat_p99_us : float;
@@ -413,8 +415,14 @@ let run_asym ?(shared = false) ?(value_size = 64) ?(cache_pct = 0.10) ?(put_rati
   in
   let retries0 = Client.read_retries c in
   let hits0, misses0 = Client.cache_stats c in
+  let verbs0 = Client.rdma_ops c and bytes0 = Client.rdma_bytes c in
   let kops, elapsed, lats =
-    drive ~clock ~fifo ~value_size ~put_ratio ~dist ~keyspace:(preload * 4) ~ops ~seed inst
+    (* When observability is on, each measured cell becomes one metrics
+       phase: snapshot + reset, so counters are per-cell. *)
+    Obs_report.phase
+      (nm ^ "." ^ Client.config_name cfg)
+      (fun () ->
+        drive ~clock ~fifo ~value_size ~put_ratio ~dist ~keyspace:(preload * 4) ~ops ~seed inst)
   in
   let hits1, misses1 = Client.cache_stats c in
   {
@@ -424,6 +432,8 @@ let run_asym ?(shared = false) ?(value_size = 64) ?(cache_pct = 0.10) ?(put_rati
     retries = Client.read_retries c - retries0;
     cache_hits = hits1 - hits0;
     cache_misses = misses1 - misses0;
+    verbs = Client.rdma_ops c - verbs0;
+    wire_bytes = Client.rdma_bytes c - bytes0;
     lat_mean_us = Asym_util.Stats.mean lats;
     lat_p50_us = Asym_util.Stats.percentile lats 50.0;
     lat_p99_us = Asym_util.Stats.percentile lats 99.0;
@@ -441,6 +451,7 @@ let run_asym_trace ?(cache_pct = 0.10) ?(seed = 7L) ~rig ~cfg ~kind ~preload ~op
   let cfg = with_cache_pct rig cfg cache_pct in
   let c = fresh_client ~name:nm rig cfg in
   let inst = client_instance kind c ~name:nm in
+  let verbs0 = Client.rdma_ops c and bytes0 = Client.rdma_bytes c in
   let rng = Asym_util.Rng.create ~seed in
   let tr =
     Asym_workload.Trace.create
@@ -449,12 +460,15 @@ let run_asym_trace ?(cache_pct = 0.10) ?(seed = 7L) ~rig ~cfg ~kind ~preload ~op
   in
   let clock = Client.clock c in
   let kops, elapsed, lats =
-    measure_latencies ~clock ~ops (fun _ ->
-        match Asym_workload.Trace.next tr with
-        | Asym_workload.Trace.Push v -> inst.push v
-        | Asym_workload.Trace.Pop -> ignore (inst.pop ())
-        | Asym_workload.Trace.Put (k, v) -> inst.put k v
-        | Asym_workload.Trace.Get k -> ignore (inst.get k))
+    Obs_report.phase
+      (nm ^ ".trace." ^ Client.config_name cfg)
+      (fun () ->
+        measure_latencies ~clock ~ops (fun _ ->
+            match Asym_workload.Trace.next tr with
+            | Asym_workload.Trace.Push v -> inst.push v
+            | Asym_workload.Trace.Pop -> ignore (inst.pop ())
+            | Asym_workload.Trace.Put (k, v) -> inst.put k v
+            | Asym_workload.Trace.Get k -> ignore (inst.get k)))
   in
   {
     kops;
@@ -463,6 +477,8 @@ let run_asym_trace ?(cache_pct = 0.10) ?(seed = 7L) ~rig ~cfg ~kind ~preload ~op
     retries = 0;
     cache_hits = 0;
     cache_misses = 0;
+    verbs = Client.rdma_ops c - verbs0;
+    wire_bytes = Client.rdma_bytes c - bytes0;
     lat_mean_us = Asym_util.Stats.mean lats;
     lat_p50_us = Asym_util.Stats.percentile lats 50.0;
     lat_p99_us = Asym_util.Stats.percentile lats 99.0;
@@ -478,7 +494,8 @@ let run_sym ?(value_size = 64) ?(put_ratio = 1.0) ?(dist = Asym_workload.Ycsb.Un
   let inst = local_instance kind s ~name:nm in
   preload_instance inst ~fifo ~n:preload ~value_size;
   let kops, elapsed, lats =
-    drive ~clock ~fifo ~value_size ~put_ratio ~dist ~keyspace:(preload * 4) ~ops ~seed inst
+    Obs_report.phase (nm ^ ".sym") (fun () ->
+        drive ~clock ~fifo ~value_size ~put_ratio ~dist ~keyspace:(preload * 4) ~ops ~seed inst)
   in
   {
     kops;
@@ -487,6 +504,8 @@ let run_sym ?(value_size = 64) ?(put_ratio = 1.0) ?(dist = Asym_workload.Ycsb.Un
     retries = 0;
     cache_hits = 0;
     cache_misses = 0;
+    verbs = 0;
+    wire_bytes = 0;
     lat_mean_us = Asym_util.Stats.mean lats;
     lat_p50_us = Asym_util.Stats.percentile lats 50.0;
     lat_p99_us = Asym_util.Stats.percentile lats 99.0;

@@ -74,6 +74,8 @@ type result = {
   retries : int;
   cache_hits : int;
   cache_misses : int;
+  verbs : int;  (** RDMA verbs posted during the measured window (0 for symmetric runs) *)
+  wire_bytes : int;  (** payload bytes those verbs moved *)
   lat_mean_us : float;  (** mean per-operation virtual latency *)
   lat_p50_us : float;
   lat_p99_us : float;

@@ -36,14 +36,23 @@ let check t addr len =
       (Printf.sprintf "Nvm.Device %s: access out of bounds (addr=%d len=%d cap=%d)" t.name addr
          len t.capacity)
 
+let obs_media t ~op ~len =
+  if Asym_obs.enabled () then begin
+    let labels = [ ("op", op); ("dev", t.name) ] in
+    Asym_obs.Registry.inc ~labels "nvm.media";
+    Asym_obs.Registry.add ~labels "nvm.media_bytes" len
+  end
+
 let read t ~addr ~len =
   check t addr len;
   t.reads <- t.reads + 1;
+  obs_media t ~op:"read" ~len;
   Bytes.sub t.media addr len
 
 let read_u64 t ~addr =
   check t addr 8;
   t.reads <- t.reads + 1;
+  obs_media t ~op:"read" ~len:8;
   Bytes.get_int64_le t.media addr
 
 let write t ~addr b =
@@ -52,7 +61,8 @@ let write t ~addr b =
   t.last_write <- Some (addr, Bytes.sub t.media addr len);
   Bytes.blit b 0 t.media addr len;
   t.writes <- t.writes + 1;
-  t.bytes_written <- t.bytes_written + len
+  t.bytes_written <- t.bytes_written + len;
+  obs_media t ~op:"write" ~len
 
 let write_u64 t ~addr v =
   let b = Bytes.create 8 in
@@ -66,7 +76,8 @@ let compare_and_swap t ~addr ~expected ~desired =
     t.last_write <- Some (addr, Bytes.sub t.media addr 8);
     Bytes.set_int64_le t.media addr desired;
     t.writes <- t.writes + 1;
-    t.bytes_written <- t.bytes_written + 8
+    t.bytes_written <- t.bytes_written + 8;
+    obs_media t ~op:"write" ~len:8
   end;
   old
 
@@ -77,6 +88,7 @@ let fetch_add t ~addr delta =
   Bytes.set_int64_le t.media addr (Int64.add old delta);
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + 8;
+  obs_media t ~op:"write" ~len:8;
   old
 
 let read_cost t ~len = Latency.nvm_read_cost t.lat len
@@ -90,7 +102,10 @@ let tear_last_write t ~keep =
       let keep = max 0 (min keep len) in
       (* Revert the suffix past [keep] to the pre-image. *)
       Bytes.blit pre keep t.media (addr + keep) (len - keep);
-      t.last_write <- None
+      t.last_write <- None;
+      (* The device has no clock; the tracer anchors the instant at the
+         latest simulated timestamp it has seen. *)
+      Asym_obs.Span.instant ~cat:"fault" ~track:t.name "nvm.torn_write"
 
 let crash_restart t = t.last_write <- None
 let reads_performed t = t.reads

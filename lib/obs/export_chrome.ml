@@ -1,0 +1,67 @@
+(* trace_event format reference:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+
+let pid = 1
+
+(* Stable track -> tid assignment in order of first appearance. *)
+let tids events =
+  let table = Hashtbl.create 8 in
+  let next = ref 1 in
+  List.iter
+    (fun (ev : Span.event) ->
+      if not (Hashtbl.mem table ev.Span.track) then begin
+        Hashtbl.replace table ev.Span.track !next;
+        incr next
+      end)
+    events;
+  table
+
+let us ns = Json.Float (float_of_int ns /. 1e3)
+
+let event_json table (ev : Span.event) =
+  let base =
+    [
+      ("name", Json.String ev.Span.name);
+      ("cat", Json.String ev.Span.cat);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int (Hashtbl.find table ev.Span.track));
+      ("ts", us ev.Span.ts);
+    ]
+  in
+  match ev.Span.kind with
+  | Span.Complete dur -> Json.Obj (base @ [ ("ph", Json.String "X"); ("dur", us dur) ])
+  | Span.Instant -> Json.Obj (base @ [ ("ph", Json.String "i"); ("s", Json.String "t") ])
+
+let thread_meta table =
+  Hashtbl.fold
+    (fun track tid acc ->
+      ( tid,
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int pid);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String track) ]);
+          ] )
+      :: acc)
+    table []
+  |> List.sort compare |> List.map snd
+
+let to_json () =
+  let events = Span.events () in
+  let table = tids events in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (thread_meta table @ List.map (event_json table) events));
+      ("displayTimeUnit", Json.String "ns");
+      ("otherData", Json.Obj [ ("droppedEvents", Json.Int (Span.dropped ())) ]);
+    ]
+
+let to_string () = Json.to_string (to_json ())
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

@@ -1,0 +1,8 @@
+(* The global observability switch. Disabled by default: every
+   instrumentation site in the stack checks this one flag before building
+   labels or touching the registry, so a benchmark run with observability
+   off pays a single predictable branch per site. *)
+
+let flag = ref false
+let set_enabled v = flag := v
+let enabled () = !flag

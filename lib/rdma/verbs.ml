@@ -23,12 +23,25 @@ let is_failed t = t.failed
 let check_alive t =
   if t.failed then raise (Failure_detected (Asym_nvm.Device.name t.remote_mem))
 
+(* Per-verb accounting: a counter, wire bytes, and a span occupying the
+   remote NIC's track for the verb's service slot. One branch when
+   observability is off. *)
+let obs_verb t ~op ~wire ~start ~dur =
+  if Asym_obs.enabled () then begin
+    let labels = [ ("op", op) ] in
+    Asym_obs.Registry.inc ~labels "rdma.verbs";
+    Asym_obs.Registry.add ~labels "rdma.wire_bytes" wire;
+    Asym_obs.Registry.add "rdma.nic_busy_ns" dur;
+    Asym_obs.Span.complete ~cat:"rdma" ~track:(Timeline.name t.remote_nic) ~ts:start ~dur
+      ("rdma." ^ op)
+  end
+
 (* Occupy the remote NIC for the service time of the verb, then charge the
    client for the end-to-end completion. NVM media time adds to the
    client-visible latency but does not occupy the NIC (DMA engines
    pipeline it). Returns the absolute completion time at the remote
    side. *)
-let round_trip t ~service ~media =
+let round_trip t ~op ~wire ~service ~media =
   let at = Clock.now t.client in
   let dur = t.lat.Latency.rdma_post_ns + service in
   let start = Timeline.acquire t.remote_nic ~at ~dur in
@@ -36,6 +49,7 @@ let round_trip t ~service ~media =
   let total = queueing + t.lat.Latency.rdma_rtt_ns + service + media in
   Clock.advance t.client total;
   t.ops <- t.ops + 1;
+  obs_verb t ~op ~wire ~start ~dur;
   start + dur + media
 
 (* Validate before charging: an optimistic reader chasing a pointer that a
@@ -51,7 +65,7 @@ let read t ~addr ~len =
   check_bounds t ~addr ~len;
   let service = Latency.rdma_payload_ns t.lat len in
   let media = Asym_nvm.Device.read_cost t.remote_mem ~len in
-  let _done_at = round_trip t ~service ~media in
+  let _done_at = round_trip t ~op:"read" ~wire:len ~service ~media in
   t.wire_bytes <- t.wire_bytes + len;
   Asym_nvm.Device.read t.remote_mem ~addr ~len
 
@@ -61,7 +75,7 @@ let write ?wire_len t ~addr b =
   let len = match wire_len with Some w -> w | None -> Bytes.length b in
   let service = Latency.rdma_payload_ns t.lat len in
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len in
-  let _done_at = round_trip t ~service ~media in
+  let _done_at = round_trip t ~op:"write" ~wire:len ~service ~media in
   t.wire_bytes <- t.wire_bytes + len;
   Asym_nvm.Device.write t.remote_mem ~addr b
 
@@ -73,16 +87,15 @@ let write_unsignaled t ~addr b =
   ignore media;
   let at = Clock.now t.client in
   let dur = t.lat.Latency.rdma_post_ns + service in
-  let _start = Timeline.acquire t.remote_nic ~at ~dur in
+  let start = Timeline.acquire t.remote_nic ~at ~dur in
   (* The client only pays the local posting cost. *)
   Clock.advance t.client t.lat.Latency.rdma_post_ns;
   t.ops <- t.ops + 1;
   t.wire_bytes <- t.wire_bytes + len;
+  obs_verb t ~op:"write_unsignaled" ~wire:len ~start ~dur;
   Asym_nvm.Device.write t.remote_mem ~addr b
 
-let compare_and_swap t ~addr ~expected ~desired =
-  check_alive t;
-  let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
+let atomic t ~op ~media =
   let at = Clock.now t.client in
   let dur = t.lat.Latency.rdma_post_ns in
   let start = Timeline.acquire t.remote_nic ~at ~dur in
@@ -90,18 +103,18 @@ let compare_and_swap t ~addr ~expected ~desired =
   Clock.advance t.client (queueing + t.lat.Latency.rdma_atomic_ns + media);
   t.ops <- t.ops + 1;
   t.wire_bytes <- t.wire_bytes + 16;
+  obs_verb t ~op ~wire:16 ~start ~dur
+
+let compare_and_swap t ~addr ~expected ~desired =
+  check_alive t;
+  let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
+  atomic t ~op:"cas" ~media;
   Asym_nvm.Device.compare_and_swap t.remote_mem ~addr ~expected ~desired
 
 let fetch_add t ~addr delta =
   check_alive t;
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
-  let at = Clock.now t.client in
-  let dur = t.lat.Latency.rdma_post_ns in
-  let start = Timeline.acquire t.remote_nic ~at ~dur in
-  let queueing = start - at in
-  Clock.advance t.client (queueing + t.lat.Latency.rdma_atomic_ns + media);
-  t.ops <- t.ops + 1;
-  t.wire_bytes <- t.wire_bytes + 16;
+  atomic t ~op:"fetch_add" ~media;
   Asym_nvm.Device.fetch_add t.remote_mem ~addr delta
 
 let ops_posted t = t.ops

@@ -65,4 +65,28 @@ module Histogram = struct
       t.counts
 
   let total t = t.total
+
+  (* Linear interpolation inside the bucket holding the target rank. The
+     lower edge of the first bucket is taken as 0 (the histograms here
+     hold non-negative latencies); the open-ended overflow bucket cannot
+     be interpolated, so it reports its finite lower edge. *)
+  let percentile t p =
+    if t.total = 0 then invalid_arg "Stats.Histogram.percentile: empty histogram";
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.Histogram.percentile: p out of [0,100]";
+    let n = Array.length t.bounds in
+    let rank = p /. 100.0 *. float_of_int t.total in
+    let rec go i cum =
+      if i > n then t.bounds.(n - 1)
+      else
+        let c = t.counts.(i) in
+        if c > 0 && float_of_int (cum + c) >= rank then
+          if i >= n then t.bounds.(n - 1)
+          else
+            let lo = if i = 0 then 0.0 else t.bounds.(i - 1) in
+            let hi = t.bounds.(i) in
+            let frac = (rank -. float_of_int cum) /. float_of_int c in
+            lo +. (Float.max 0.0 frac *. (hi -. lo))
+        else go (i + 1) (cum + c)
+    in
+    go 0 0
 end

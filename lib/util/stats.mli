@@ -31,4 +31,10 @@ module Histogram : sig
   (** Pairs of (upper bound, count); the last bound is [infinity]. *)
 
   val total : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0,100\]], linearly interpolated from
+      the bucket counts (the first bucket's lower edge is taken as 0; the
+      overflow bucket reports its finite lower edge). Raises
+      [Invalid_argument] on an empty histogram. *)
 end
