@@ -3,7 +3,7 @@
 # checked only when ocamlformat is installed (the CI container does not
 # ship it; .ocamlformat pins the version for environments that do).
 
-.PHONY: all build test fmt fmt-check check bench demo clean
+.PHONY: all build test fmt fmt-check check crashsweep bench demo clean
 
 all: build
 
@@ -24,6 +24,13 @@ fmt-check:
 	else echo "ocamlformat not installed; skipping fmt-check"; fi
 
 check: build test fmt-check
+
+# Exhaustive crash-point sweep over every structure (every boundary,
+# clean + torn variants) plus a multi-client fault-fuzzer pass. The
+# bounded version of the same sweep runs inside `make test`.
+crashsweep:
+	dune exec bin/asymnvm.exe -- check --structure all --ops 50
+	dune exec bin/asymnvm.exe -- check --structure all --ops 5 --stride 1000 --fuzz 300
 
 bench:
 	dune exec bench/main.exe -- all

@@ -3,6 +3,7 @@
      asymnvm layout --capacity 64   print the device layout for a capacity
      asymnvm demo                   end-to-end put/get/crash/recover run
      asymnvm drill                  exercise all five §7.2 failure cases
+     asymnvm check                  crash-point sweep vs. reference models
      asymnvm trace                  traced multi-phase run + Chrome JSON
 
    demo and drill also accept --trace FILE to record the same run. *)
@@ -174,6 +175,113 @@ let drill_cmd =
   Cmd.v (Cmd.info "drill" ~doc:"Exercise the five failure cases of paper §7.2")
     Term.(const run $ trace_arg)
 
+(* -- check ------------------------------------------------------------------ *)
+
+module Check = Asym_check
+
+let check_cmd =
+  let run structure ops seed stride no_tear point tear_point fuzz fuzz_clients =
+    let subjects =
+      if structure = "all" then Check.Subject.all
+      else
+        match Check.Subject.find structure with
+        | Some s -> [ s ]
+        | None ->
+            Fmt.epr "asymnvm: unknown structure %S (try one of: all %s)@." structure
+              (String.concat " " Check.Subject.names);
+            exit 1
+    in
+    let failed = ref false in
+    (match point with
+    | Some point ->
+        (* Reproducer mode: one schedule, one armed crash point. *)
+        List.iter
+          (fun s ->
+            match Check.Explorer.run_point s ~ops ~seed ~point ~tear:tear_point with
+            | None ->
+                Fmt.pr "%-10s point %d%s: OK@." s.Check.Subject.name point
+                  (if tear_point then " (torn)" else "")
+            | Some f ->
+                failed := true;
+                Fmt.pr "%-10s point %d (%s%s, %d ops completed): %s@." s.Check.Subject.name
+                  f.Check.Explorer.point f.Check.Explorer.site
+                  (match f.Check.Explorer.torn with
+                  | Some k -> Printf.sprintf ", torn keep=%d" k
+                  | None -> "")
+                  f.Check.Explorer.completed f.Check.Explorer.detail)
+          subjects
+    | None ->
+        List.iter
+          (fun s ->
+            let o = Check.Explorer.sweep ~stride ~tear:(not no_tear) s ~ops ~seed in
+            Fmt.pr "%a@." Check.Explorer.pp_outcome o;
+            List.iter
+              (fun (site, n) -> Fmt.pr "    %6d  %s@." n site)
+              (List.sort (fun (_, a) (_, b) -> compare b a) o.Check.Explorer.sites);
+            if o.Check.Explorer.failures <> [] then failed := true)
+          subjects;
+        match fuzz with
+        | 0 -> ()
+        | steps ->
+            List.iter
+              (fun s ->
+                let o = Check.Fuzz.run ~clients:fuzz_clients s ~steps ~seed in
+                Fmt.pr "%a@." Check.Fuzz.pp_outcome o;
+                if o.Check.Fuzz.failures <> [] then failed := true)
+              subjects);
+    if !failed then exit 1
+  in
+  let structure =
+    Arg.(
+      value & opt string "all"
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:"Structure to sweep ($(b,all) or one of the registered names).")
+  in
+  let ops =
+    Arg.(value & opt int 50 & info [ "ops" ] ~docv:"N" ~doc:"Operations in the schedule.")
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule generator seed.")
+  in
+  let stride =
+    Arg.(
+      value & opt int 1
+      & info [ "stride" ] ~docv:"K" ~doc:"Sample every $(docv)-th crash point (1 = exhaustive).")
+  in
+  let no_tear =
+    Arg.(value & flag & info [ "no-tear" ] ~doc:"Skip the torn-write variant of each point.")
+  in
+  let point =
+    Arg.(
+      value & opt (some int) None
+      & info [ "point" ] ~docv:"N"
+          ~doc:"Re-run a single crash point (reproducer mode; skips the sweep).")
+  in
+  let tear_point =
+    Arg.(
+      value & flag
+      & info [ "tear-point" ] ~doc:"With $(b,--point), also tear the write at that point.")
+  in
+  let fuzz =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"STEPS"
+          ~doc:
+            "After the sweep, run the multi-client fault fuzzer for $(docv) random steps \
+             (0 = off).")
+  in
+  let fuzz_clients =
+    Arg.(value & opt int 2 & info [ "fuzz-clients" ] ~docv:"N" ~doc:"Fuzzer front-end count.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustive crash-point sweep: re-run a deterministic schedule once per NVM-mutating \
+          boundary, crash there, recover, and validate against a pure reference model.")
+    Term.(
+      const run $ structure $ ops $ seed $ stride $ no_tear $ point $ tear_point $ fuzz
+      $ fuzz_clients)
+
 (* -- trace ------------------------------------------------------------------ *)
 
 let trace_cmd =
@@ -227,4 +335,4 @@ let trace_cmd =
 
 let () =
   let info = Cmd.info "asymnvm" ~doc:"AsymNVM framework utility" in
-  exit (Cmd.eval (Cmd.group info [ layout_cmd; demo_cmd; drill_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ layout_cmd; demo_cmd; drill_cmd; check_cmd; trace_cmd ]))

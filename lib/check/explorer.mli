@@ -1,0 +1,54 @@
+(** Exhaustive crash-point sweep (census / replay / validate).
+
+    One sweep of a structure works in three phases:
+
+    + {e Census}: run the deterministic schedule once with the
+      {!Asym_nvm.Crashpoint} hook counting, recording every NVM-mutating
+      boundary a front-end initiates (operation-log appends, transaction
+      flushes, deferred root CASes, wrap markers, ...).
+    + {e Replay}: re-run the schedule once per boundary with the hook
+      armed. The injected {!Asym_nvm.Crashpoint.Crash_injected} leaves the
+      world exactly as a front-end crash would: the boundary's write is on
+      the media, its ack was never observed. Each tearable boundary is
+      additionally re-run with {!Asym_nvm.Device.tear_last_write} clipping
+      the write's tail (atomic verbs are never torn — RDMA atomics cannot
+      tear). Then [Client.crash], [Client.recover], structure re-attach,
+      op replay through {!Asym_structs.Registry}, and a flush.
+    + {e Validate}: the recovered dump must equal the reference model
+      after the [k] completed operations, or after [k + 1] (the in-flight
+      operation is atomic: fully applied iff its operation-log record
+      survived). A probe operation then proves the structure still accepts
+      writes.
+
+    Failures carry a one-line reproducer for [asymnvm check]. *)
+
+type failure = {
+  point : int;  (** 1-based crash-point index into the census *)
+  site : string;  (** census site label of the boundary *)
+  torn : int option;  (** bytes kept by the tear injection, if torn *)
+  completed : int;  (** schedule ops completed before the crash *)
+  detail : string;
+}
+
+type outcome = {
+  structure : string;
+  ops : int;
+  seed : int64;
+  boundaries : int;  (** census size *)
+  sites : (string * int) list;  (** census histogram *)
+  points_run : int;  (** replay runs executed (clean + torn variants) *)
+  failures : failure list;
+}
+
+val sweep : ?stride:int -> ?tear:bool -> Subject.t -> ops:int -> seed:int64 -> outcome
+(** [stride] samples every [stride]-th crash point (default 1 =
+    exhaustive); [tear] (default true) adds the torn variant of each
+    tearable point. *)
+
+val run_point : Subject.t -> ops:int -> seed:int64 -> point:int -> tear:bool -> failure option
+(** Re-run a single crash point (the reproducer entry point). *)
+
+val reproducer : outcome -> failure -> string
+(** Shell command that replays exactly this failing schedule. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,242 @@
+open Asym_sim
+open Asym_core
+open Asym_cluster
+
+type outcome = {
+  structure : string;
+  clients : int;
+  steps : int;
+  seed : int64;
+  ops_applied : int;
+  validations : int;
+  client_crashes : int;
+  backend_restarts : int;
+  mirror_crashes : int;
+  promotions : int;
+  failures : string list;
+}
+
+let capacity = 16 * 1024 * 1024
+let lease = Simtime.ms 50
+
+type world = {
+  subject : Subject.t;
+  seed : int64;
+  steps : int;
+  rng : Asym_util.Rng.t;
+  ka : Keepalive.t;
+  mutable bk : Backend.t;
+  mutable generation : int;  (* bumped on every promotion, names the successor *)
+  fes : Client.t array;
+  insts : Subject.instance array;
+  models : Model.t array;
+  opnum : int array;  (* per-client op counter, tags generated values *)
+  mutable failures : string list;
+}
+
+let now w = Array.fold_left (fun t fe -> Simtime.max t (Clock.now (Client.clock fe))) Simtime.zero w.fes
+let inst_name c = Printf.sprintf "chk%d" c
+
+let fail w ~step ~event detail =
+  w.failures <-
+    Printf.sprintf "step %d [%s] %s (reproduce: asymnvm check --structure %s --fuzz %d --seed %Ld)"
+      step event detail w.subject.Subject.name w.steps w.seed
+    :: w.failures
+
+let make_world (subject : Subject.t) ~clients ~steps ~seed =
+  let lat = Latency.default in
+  let bk =
+    Backend.create ~name:"fuzz-bk" ~max_sessions:(clients + 2) ~memlog_cap:(512 * 1024)
+      ~oplog_cap:(256 * 1024) ~slab_size:4096 ~capacity lat
+  in
+  Backend.attach_mirror bk (Mirror.create ~name:"fuzz-m-nvm" ~kind:Mirror.Nvm_backed ~capacity lat);
+  Backend.attach_mirror bk (Mirror.create ~name:"fuzz-m-ssd" ~kind:Mirror.Ssd_backed ~capacity lat);
+  let ka = Keepalive.create ~lease (Asym_util.Rng.create ~seed:(Int64.logxor seed 0x5eedL)) in
+  let fes =
+    Array.init clients (fun c ->
+        let name = Printf.sprintf "fuzz-fe%d" c in
+        Client.connect ~name (Client.rcb ~batch_size:4 ()) bk ~clock:(Clock.create ~name ()))
+  in
+  let insts = Array.mapi (fun c fe -> subject.Subject.attach ~name:(inst_name c) fe) fes in
+  Keepalive.register ka "backend" ~now:Simtime.zero;
+  Array.iteri (fun c _ -> Keepalive.register ka (Printf.sprintf "fe%d" c) ~now:Simtime.zero) fes;
+  {
+    subject;
+    seed;
+    steps;
+    rng = Asym_util.Rng.create ~seed;
+    ka;
+    bk;
+    generation = 0;
+    fes;
+    insts;
+    models = Array.make clients subject.Subject.model0;
+    opnum = Array.make clients 0;
+    failures = [];
+  }
+
+(* Recover client [c] on whatever back-end it currently points at:
+   re-sync the session, re-attach the instance, replay uncovered ops. *)
+let recover_client w c =
+  let fe = w.fes.(c) in
+  let ops = Client.recover fe in
+  w.insts.(c) <- w.subject.Subject.attach ~name:(inst_name c) fe;
+  let reg = Asym_structs.Registry.create () in
+  w.insts.(c).Subject.register reg;
+  Asym_structs.Registry.replay_all reg ops;
+  Client.flush fe
+
+let validate w ~step ~event c =
+  let fe = w.fes.(c) in
+  Client.flush fe;
+  Client.invalidate_cache fe;
+  let dump = w.insts.(c).Subject.dump () and want = Model.dump w.models.(c) in
+  if dump <> want then
+    fail w ~step ~event
+      (Printf.sprintf "client %d: dump has %d entries, model has %d after %d ops" c
+         (List.length dump) (List.length want) w.opnum.(c))
+
+let step_op w ~step:_ =
+  let c = Asym_util.Rng.int w.rng (Array.length w.fes) in
+  let op = Model.random_op w.rng ~kind:w.subject.Subject.kind ~i:w.opnum.(c) in
+  w.insts.(c).Subject.apply op;
+  w.models.(c) <- Model.apply w.models.(c) op;
+  w.opnum.(c) <- w.opnum.(c) + 1
+
+let step_client_crash w ~step =
+  let c = Asym_util.Rng.int w.rng (Array.length w.fes) in
+  Client.crash w.fes.(c);
+  (match recover_client w c with
+  | () -> ()
+  | exception e ->
+      fail w ~step ~event:"client-crash" (Printf.sprintf "recovery raised %s" (Printexc.to_string e)));
+  validate w ~step ~event:"client-crash" c
+
+let reconnect_all w ~step ~event =
+  Array.iteri
+    (fun c fe ->
+      match
+        Client.reconnect_after_backend_restart fe;
+        recover_client w c
+      with
+      | () -> validate w ~step ~event c
+      | exception e ->
+          fail w ~step ~event (Printf.sprintf "client %d reconnect raised %s" c (Printexc.to_string e)))
+    w.fes
+
+let step_backend_restart w ~step =
+  Backend.crash w.bk;
+  ignore (Backend.restart w.bk);
+  reconnect_all w ~step ~event:"backend-restart"
+
+let step_mirror_crash w ~step:_ =
+  match List.filter (fun m -> not (Mirror.is_crashed m)) (Backend.mirrors w.bk) with
+  | [] -> ()
+  | live -> Mirror.crash (List.nth live (Asym_util.Rng.int w.rng (List.length live)))
+
+(* Permanent back-end death: stop renewing its lease, advance every clock
+   past it, let the keepAlive majority declare the crash, then elect and
+   promote a surviving mirror (§7.2 Case 4). With no live mirror left the
+   cluster can only restart the old node in place. *)
+let step_promotion w ~step =
+  Backend.crash w.bk;
+  Array.iter (fun fe -> Clock.advance (Client.clock fe) (Simtime.ms 200)) w.fes;
+  let t = now w in
+  if Keepalive.alive w.ka "backend" ~now:t then
+    fail w ~step ~event:"promotion" "keepAlive majority still holds a lapsed back-end lease";
+  match Failover.elect (Backend.mirrors w.bk) with
+  | None ->
+      ignore (Backend.restart w.bk);
+      Keepalive.renew w.ka "backend" ~now:t;
+      reconnect_all w ~step ~event:"promotion-restart";
+      `Restarted
+  | Some m ->
+      w.generation <- w.generation + 1;
+      let bk' =
+        Failover.promote ~name:(Printf.sprintf "fuzz-bk%d" w.generation) m (Backend.latency w.bk)
+      in
+      (* Surviving mirrors follow the successor. An adopted NVM mirror IS
+         the successor now; an SSD promotion source keeps mirroring (its
+         image equals the copied one). *)
+      List.iter
+        (fun m' ->
+          if
+            (not (Mirror.is_crashed m'))
+            && not (m' == m && Mirror.kind m = Mirror.Nvm_backed)
+          then Backend.attach_mirror bk' m')
+        (Backend.mirrors w.bk);
+      w.bk <- bk';
+      Keepalive.renew w.ka "backend" ~now:t;
+      Array.iteri
+        (fun c fe ->
+          match
+            Client.switch_backend fe bk';
+            recover_client w c
+          with
+          | () -> validate w ~step ~event:"promotion" c
+          | exception e ->
+              fail w ~step ~event:"promotion"
+                (Printf.sprintf "client %d switch raised %s" c (Printexc.to_string e)))
+        w.fes;
+      `Promoted
+
+let run ?(clients = 2) (subject : Subject.t) ~steps ~seed:sd =
+  if clients < 1 then invalid_arg "Fuzz.run: clients must be >= 1";
+  let w = make_world subject ~clients ~steps ~seed:sd in
+  let ops_applied = ref 0
+  and validations = ref 0
+  and client_crashes = ref 0
+  and backend_restarts = ref 0
+  and mirror_crashes = ref 0
+  and promotions = ref 0 in
+  for step = 1 to steps do
+    (match Asym_util.Rng.int w.rng 100 with
+    | r when r < 70 ->
+        step_op w ~step;
+        incr ops_applied
+    | r when r < 80 ->
+        validate w ~step ~event:"validate" (Asym_util.Rng.int w.rng clients);
+        incr validations
+    | r when r < 88 ->
+        step_client_crash w ~step;
+        incr client_crashes
+    | r when r < 94 ->
+        step_backend_restart w ~step;
+        incr backend_restarts
+    | r when r < 97 ->
+        step_mirror_crash w ~step;
+        incr mirror_crashes
+    | _ -> (
+        match step_promotion w ~step with
+        | `Promoted -> incr promotions
+        | `Restarted -> incr backend_restarts));
+    (* Heartbeats: everyone still standing renews before the next step. *)
+    let t = now w in
+    Keepalive.renew w.ka "backend" ~now:t;
+    Array.iteri (fun c _ -> Keepalive.renew w.ka (Printf.sprintf "fe%d" c) ~now:t) w.fes
+  done;
+  for c = 0 to clients - 1 do
+    validate w ~step:steps ~event:"final" c;
+    incr validations
+  done;
+  {
+    structure = subject.Subject.name;
+    clients;
+    steps;
+    seed = sd;
+    ops_applied = !ops_applied;
+    validations = !validations;
+    client_crashes = !client_crashes;
+    backend_restarts = !backend_restarts;
+    mirror_crashes = !mirror_crashes;
+    promotions = !promotions;
+    failures = List.rev w.failures;
+  }
+
+let pp_outcome fmt o =
+  Fmt.pf fmt
+    "%-10s fuzz seed=%Ld steps=%d clients=%d: %d ops, %d validations, %d client crashes, %d \
+     backend restarts, %d mirror crashes, %d promotions, %d failures"
+    o.structure o.seed o.steps o.clients o.ops_applied o.validations o.client_crashes
+    o.backend_restarts o.mirror_crashes o.promotions (List.length o.failures);
+  List.iter (fun f -> Fmt.pf fmt "@.  FAIL %s" f) o.failures

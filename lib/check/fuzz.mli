@@ -1,0 +1,36 @@
+(** Seeded random-schedule fuzzer.
+
+    Where {!Explorer} enumerates every crash point of one deterministic
+    schedule, the fuzzer explores the cluster-level state space: several
+    front-end clients — each owning its own instance of the subject
+    structure on one shared back-end — interleave random operations with
+    client crashes (+ recovery and op replay), transient back-end
+    restarts, mirror crashes, and keepAlive-driven mirror promotion
+    (§7.2 Case 4) via {!Asym_cluster.Failover}.
+
+    Each client's instance is validated against its own reference model,
+    so any divergence — lost op, duplicated replay, stale cache, botched
+    promotion — shows up as a dump/model mismatch. Schedules are fully
+    determined by [seed]: a failing run's command line is its
+    reproducer. *)
+
+type outcome = {
+  structure : string;
+  clients : int;
+  steps : int;
+  seed : int64;
+  ops_applied : int;
+  validations : int;  (** model/dump comparisons performed (incl. final) *)
+  client_crashes : int;
+  backend_restarts : int;
+  mirror_crashes : int;
+  promotions : int;
+  failures : string list;
+}
+
+val run : ?clients:int -> Subject.t -> steps:int -> seed:int64 -> outcome
+(** [clients] defaults to 2. Each client owns an independently named
+    instance of the subject, so every structure — including the
+    single-writer multi-version ones — fuzzes under multi-client load. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -459,7 +459,13 @@ let restart t =
         s.memlog_head <- s.lpn;
         let records, op_head, next_opnum = scan_oplog t s in
         s.oplog_head <- op_head;
-        s.next_opnum <- next_opnum;
+        (* The ring scan under-counts when GC already reclaimed every
+           covered record: a fresh opnum must still exceed [opn_covered],
+           or ops logged after this restart are indistinguishable from
+           covered ones and recovery silently drops them. *)
+        s.next_opnum <-
+          (let floor_ = Int64.add s.opn_covered 1L in
+           if Int64.compare next_opnum floor_ < 0 then floor_ else next_opnum);
         Queue.clear s.op_index;
         List.iter
           (fun (op, off) ->

@@ -9,6 +9,11 @@ let tag_commit = 0xC3
 let flag_inline = 0x01
 let flag_op_pointer = 0x02
 
+(* Test-only fault: when cleared, [scan] accepts records whose checksum
+   does not match, i.e. torn-write detection is broken. lib/check uses it
+   to prove the crash-point sweep can fail. *)
+let crc_check = ref true
+
 module Mem_entry = struct
   type t = { addr : Types.addr; value : bytes; from_op : int64 option }
 
@@ -90,7 +95,7 @@ module Tx = struct
             let body_len = Codec.Dec.pos d - pos in
             let crc = Codec.Dec.u32 d in
             let actual = Crc32.digest buf ~pos ~len:body_len in
-            if crc <> actual then Torn
+            if !crc_check && crc <> actual then Torn
             else
               Record
                 ( { ds; op_hi; entries = List.rev !entries },
@@ -145,7 +150,7 @@ module Op_entry = struct
             let body_len = Codec.Dec.pos d - pos in
             let crc = Codec.Dec.u32 d in
             let actual = Crc32.digest buf ~pos ~len:body_len in
-            if crc <> actual then Torn
+            if !crc_check && crc <> actual then Torn
             else Record ({ ds; opnum; optype; params }, Codec.Dec.pos d - pos)
           with Exit | Invalid_argument _ -> Torn)
 

@@ -20,6 +20,13 @@
     value with a pointer into the operation log is accounted in
     {!Tx.wire_size}, which is what the simulated NIC charges for. *)
 
+val crc_check : bool ref
+(** Test-only: when set to [false], {!Tx.scan} and {!Op_entry.scan} accept
+    records whose CRC32 does not match — a deliberately broken torn-write
+    detector. lib/check's canary test clears it to prove the crash-point
+    sweep notices a recovery path that replays corrupted records. Always
+    [true] outside that test. *)
+
 module Mem_entry : sig
   type t = {
     addr : Types.addr;

@@ -62,7 +62,8 @@ let write t ~addr b =
   Bytes.blit b 0 t.media addr len;
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + len;
-  obs_media t ~op:"write" ~len
+  obs_media t ~op:"write" ~len;
+  Crashpoint.hit ~site:"nvm.write"
 
 let write_u64 t ~addr v =
   let b = Bytes.create 8 in
@@ -77,7 +78,8 @@ let compare_and_swap t ~addr ~expected ~desired =
     Bytes.set_int64_le t.media addr desired;
     t.writes <- t.writes + 1;
     t.bytes_written <- t.bytes_written + 8;
-    obs_media t ~op:"write" ~len:8
+    obs_media t ~op:"write" ~len:8;
+    Crashpoint.hit ~site:"nvm.cas"
   end;
   old
 
@@ -89,6 +91,7 @@ let fetch_add t ~addr delta =
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + 8;
   obs_media t ~op:"write" ~len:8;
+  Crashpoint.hit ~site:"nvm.fetch_add";
   old
 
 let read_cost t ~len = Latency.nvm_read_cost t.lat len
@@ -108,6 +111,7 @@ let tear_last_write t ~keep =
       Asym_obs.Span.instant ~cat:"fault" ~track:t.name "nvm.torn_write"
 
 let crash_restart t = t.last_write <- None
+let last_write_len t = Option.map (fun (_, pre) -> Bytes.length pre) t.last_write
 let reads_performed t = t.reads
 let writes_performed t = t.writes
 let bytes_written t = t.bytes_written

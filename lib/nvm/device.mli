@@ -47,6 +47,11 @@ val crash_restart : t -> unit
 (** Power-cycle the device. Durable contents are preserved; the
     tear-injection bookkeeping is reset. *)
 
+val last_write_len : t -> int option
+(** Length of the most recent write (the one {!tear_last_write} would
+    tear), or [None] after {!crash_restart} / before any write. Used by
+    the crash-point explorer to pick a tear offset. *)
+
 val reads_performed : t -> int
 val writes_performed : t -> int
 val bytes_written : t -> int

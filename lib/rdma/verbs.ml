@@ -72,6 +72,7 @@ let read t ~addr ~len =
 let write ?wire_len t ~addr b =
   check_alive t;
   check_bounds t ~addr ~len:(Bytes.length b);
+  Asym_nvm.Crashpoint.in_verb "rdma.write" @@ fun () ->
   let len = match wire_len with Some w -> w | None -> Bytes.length b in
   let service = Latency.rdma_payload_ns t.lat len in
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len in
@@ -81,6 +82,7 @@ let write ?wire_len t ~addr b =
 
 let write_unsignaled t ~addr b =
   check_alive t;
+  Asym_nvm.Crashpoint.in_verb "rdma.write_unsignaled" @@ fun () ->
   let len = Bytes.length b in
   let service = Latency.rdma_payload_ns t.lat len in
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len in
@@ -107,12 +109,14 @@ let atomic t ~op ~media =
 
 let compare_and_swap t ~addr ~expected ~desired =
   check_alive t;
+  Asym_nvm.Crashpoint.in_verb "rdma.cas" @@ fun () ->
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
   atomic t ~op:"cas" ~media;
   Asym_nvm.Device.compare_and_swap t.remote_mem ~addr ~expected ~desired
 
 let fetch_add t ~addr delta =
   check_alive t;
+  Asym_nvm.Crashpoint.in_verb "rdma.fetch_add" @@ fun () ->
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
   atomic t ~op:"fetch_add" ~media;
   Asym_nvm.Device.fetch_add t.remote_mem ~addr delta

@@ -90,6 +90,39 @@ let test_op_torn () =
   Bytes.set b 14 '\255';
   check Alcotest.bool "torn" true (Log.Op_entry.scan b ~pos:0 = Log.Op_entry.Torn)
 
+(* A 1-byte payload is the hardest torn-write case: the tear clips almost
+   nothing, so only the checksum can tell. Both log kinds must catch a
+   single flipped or clipped byte. *)
+let test_tx_one_byte_payload_torn () =
+  let t = tx [ entry 100 "x" ] in
+  let good = Log.Tx.encode t in
+  (match Log.Tx.scan good ~pos:0 with
+  | Log.Tx.Record (t', _) ->
+      check Alcotest.int "sanity: 1-byte entry round-trips" 1 (List.length t'.Log.Tx.entries)
+  | _ -> Alcotest.fail "expected record");
+  let cut = Bytes.sub good 0 (Bytes.length good - 1) in
+  check Alcotest.bool "clipping the last byte is torn" true (Log.Tx.scan cut ~pos:0 = Log.Tx.Torn);
+  let flipped = Bytes.copy good in
+  Bytes.set flipped (Bytes.length flipped - 1) '\255';
+  check Alcotest.bool "flipping the last byte is torn" true
+    (Log.Tx.scan flipped ~pos:0 = Log.Tx.Torn)
+
+let test_op_one_byte_payload_torn () =
+  let op = { Log.Op_entry.ds = 1; opnum = 1L; optype = 1; params = Bytes.of_string "p" } in
+  let good = Log.Op_entry.encode op in
+  (match Log.Op_entry.scan good ~pos:0 with
+  | Log.Op_entry.Record (op', _) ->
+      check Alcotest.string "sanity: 1-byte params round-trip" "p"
+        (Bytes.to_string op'.Log.Op_entry.params)
+  | _ -> Alcotest.fail "expected record");
+  let cut = Bytes.sub good 0 (Bytes.length good - 1) in
+  check Alcotest.bool "clipping the last byte is torn" true
+    (Log.Op_entry.scan cut ~pos:0 = Log.Op_entry.Torn);
+  let flipped = Bytes.copy good in
+  Bytes.set flipped (Bytes.length flipped - 1) '\255';
+  check Alcotest.bool "flipping the last byte is torn" true
+    (Log.Op_entry.scan flipped ~pos:0 = Log.Op_entry.Torn)
+
 let test_op_empty_and_wrap () =
   let b = Bytes.make 4 '\000' in
   check Alcotest.bool "empty" true (Log.Op_entry.scan b ~pos:0 = Log.Op_entry.Empty);
@@ -168,6 +201,7 @@ let () =
           Alcotest.test_case "wrap marker" `Quick test_tx_wrap_marker;
           Alcotest.test_case "torn detected" `Quick test_tx_torn_detected;
           Alcotest.test_case "truncated torn" `Quick test_tx_truncated_is_torn;
+          Alcotest.test_case "1-byte payload torn" `Quick test_tx_one_byte_payload_torn;
           Alcotest.test_case "sequence scan" `Quick test_tx_sequence_scan;
           Alcotest.test_case "pointer wire optimization" `Quick
             test_tx_wire_size_pointer_optimization;
@@ -182,6 +216,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_op_roundtrip;
           Alcotest.test_case "torn" `Quick test_op_torn;
+          Alcotest.test_case "1-byte payload torn" `Quick test_op_one_byte_payload_torn;
           Alcotest.test_case "empty/wrap" `Quick test_op_empty_and_wrap;
         ] );
     ]

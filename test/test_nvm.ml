@@ -62,6 +62,34 @@ let test_tear_only_once () =
   Device.tear_last_write d ~keep:0;
   check Alcotest.string "still empty" "\000\000\000" (Bytes.to_string (Device.read d ~addr:0 ~len:3))
 
+let test_torn_write_keep_full () =
+  let d = mk () in
+  Device.write d ~addr:4 (Bytes.of_string "old!");
+  Device.write d ~addr:4 (Bytes.of_string "new!");
+  check (Alcotest.option Alcotest.int) "last write is tearable" (Some 4) (Device.last_write_len d);
+  (* keep = full length: the boundary case where the "tear" clips nothing. *)
+  Device.tear_last_write d ~keep:4;
+  check Alcotest.string "write fully intact" "new!" (Bytes.to_string (Device.read d ~addr:4 ~len:4));
+  check (Alcotest.option Alcotest.int) "tear bookkeeping still consumed" None
+    (Device.last_write_len d);
+  (* keep past the write length clamps to a no-op too. *)
+  Device.write d ~addr:4 (Bytes.of_string "more");
+  Device.tear_last_write d ~keep:99;
+  check Alcotest.string "over-long keep clamps" "more"
+    (Bytes.to_string (Device.read d ~addr:4 ~len:4))
+
+let test_tear_after_crash_restart () =
+  let d = mk () in
+  Device.write d ~addr:0 (Bytes.of_string "acked");
+  Device.crash_restart d;
+  (* A restart fences torn writes: whatever reached the media before the
+     crash is either fully there or was already torn at crash time. *)
+  check (Alcotest.option Alcotest.int) "nothing tearable after restart" None
+    (Device.last_write_len d);
+  Device.tear_last_write d ~keep:0;
+  check Alcotest.string "pre-crash write not revertible" "acked"
+    (Bytes.to_string (Device.read d ~addr:0 ~len:5))
+
 let test_crash_restart_preserves () =
   let d = mk () in
   Device.write d ~addr:0 (Bytes.of_string "durable");
@@ -130,6 +158,8 @@ let () =
           Alcotest.test_case "torn write" `Quick test_torn_write;
           Alcotest.test_case "torn write keep=0" `Quick test_torn_write_keep_zero;
           Alcotest.test_case "tear only once" `Quick test_tear_only_once;
+          Alcotest.test_case "torn write keep=len" `Quick test_torn_write_keep_full;
+          Alcotest.test_case "tear after crash/restart" `Quick test_tear_after_crash_restart;
           Alcotest.test_case "crash/restart durability" `Quick test_crash_restart_preserves;
           Alcotest.test_case "snapshot/load" `Quick test_snapshot_load;
           Alcotest.test_case "counters" `Quick test_counters;

@@ -342,6 +342,67 @@ let test_keepalive_majority_skew () =
   check Alcotest.bool "well after expiry" false
     (Asym_cluster.Keepalive.alive ka "n" ~now:(Simtime.ms 3))
 
+let test_keepalive_exact_majority_boundary () =
+  (* With an even ensemble a split vote is not a majority: the node is
+     declared crashed only when strictly more than half the replicas saw
+     its lease expire. Reconstruct the per-replica skews with a twin rng
+     to place the probe time between the 2nd and 3rd observation. *)
+  let seed = 5L and lease = Simtime.ms 10 and skew = Simtime.ms 4 in
+  let ka =
+    Asym_cluster.Keepalive.create ~replicas:4 ~lease ~skew (Asym_util.Rng.create ~seed)
+  in
+  let twin = Asym_util.Rng.create ~seed in
+  Asym_cluster.Keepalive.register ka "n" ~now:0;
+  let delays = Array.init 4 (fun _ -> Asym_util.Rng.int twin (skew + 1)) in
+  Array.sort compare delays;
+  Alcotest.(check bool) "seed yields distinct middle skews" true (delays.(1) < delays.(2));
+  (* Exactly replicas 0 and 1 (by expiry order) have expired here. *)
+  let tie = delays.(2) + lease in
+  check Alcotest.bool "2 of 4 expired: tie is not a majority" true
+    (Asym_cluster.Keepalive.alive ka "n" ~now:tie);
+  check Alcotest.bool "3 of 4 expired: strict majority declares the crash" false
+    (Asym_cluster.Keepalive.alive ka "n" ~now:(delays.(2) + lease + 1))
+
+let test_keepalive_renewal_at_exact_expiry () =
+  (* Expiry is strict: a renewal (or probe) landing exactly at
+     [seen + lease] still counts as alive — the lease covers its own last
+     instant. Zero skew makes every replica agree. *)
+  let lease = Simtime.ms 10 in
+  let ka = Asym_cluster.Keepalive.create ~lease ~skew:0 (Asym_util.Rng.create ~seed:6L) in
+  Asym_cluster.Keepalive.register ka "n" ~now:0;
+  check Alcotest.bool "alive at the exact last lease instant" true
+    (Asym_cluster.Keepalive.alive ka "n" ~now:lease);
+  Asym_cluster.Keepalive.renew ka "n" ~now:lease;
+  check Alcotest.bool "renewal at expiry extends a full lease" true
+    (Asym_cluster.Keepalive.alive ka "n" ~now:(2 * lease));
+  check Alcotest.bool "one instant past the renewed lease is dead" false
+    (Asym_cluster.Keepalive.alive ka "n" ~now:((2 * lease) + 1))
+
+let test_keepalive_forget_mid_epoch () =
+  (* Case 5: a crashed mirror is administratively dropped mid-epoch. It
+     must vanish from the group without ever appearing in the crashed
+     list, and re-registering starts a fresh lease. *)
+  let lease = Simtime.ms 10 in
+  let ka = Asym_cluster.Keepalive.create ~lease ~skew:0 (Asym_util.Rng.create ~seed:7L) in
+  Asym_cluster.Keepalive.register ka "backend" ~now:0;
+  Asym_cluster.Keepalive.register ka "mirror" ~now:0;
+  Asym_cluster.Keepalive.renew ka "backend" ~now:(Simtime.ms 5);
+  Asym_cluster.Keepalive.forget ka "mirror";
+  check
+    (Alcotest.list Alcotest.string)
+    "only the survivor remains" [ "backend" ]
+    (Asym_cluster.Keepalive.members ka);
+  check Alcotest.bool "forgotten node is not alive" false
+    (Asym_cluster.Keepalive.alive ka "mirror" ~now:(Simtime.ms 6));
+  check
+    (Alcotest.list Alcotest.string)
+    "forgotten node is not reported crashed either" []
+    (Asym_cluster.Keepalive.crashed ka ~now:(Simtime.ms 30 + 1)
+    |> List.filter (fun n -> n = "mirror"));
+  Asym_cluster.Keepalive.register ka "mirror" ~now:(Simtime.ms 20);
+  check Alcotest.bool "re-registered with a fresh lease" true
+    (Asym_cluster.Keepalive.alive ka "mirror" ~now:(Simtime.ms 25))
+
 (* -- abandoned locks ----------------------------------------------------------- *)
 
 let test_abandoned_lock_released_on_recovery () =
@@ -545,6 +606,11 @@ let () =
           Alcotest.test_case "lease expiry" `Quick test_keepalive_lease_expiry;
           Alcotest.test_case "unknown node" `Quick test_keepalive_unknown_node_dead;
           Alcotest.test_case "majority with skew" `Quick test_keepalive_majority_skew;
+          Alcotest.test_case "exact-majority boundary" `Quick
+            test_keepalive_exact_majority_boundary;
+          Alcotest.test_case "renewal at exact expiry" `Quick
+            test_keepalive_renewal_at_exact_expiry;
+          Alcotest.test_case "node removal mid-epoch" `Quick test_keepalive_forget_mid_epoch;
         ] );
       ( "locks",
         [ Alcotest.test_case "abandoned lock released" `Quick test_abandoned_lock_released_on_recovery ]
