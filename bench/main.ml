@@ -3,65 +3,113 @@
    One subcommand per table/figure of the paper's evaluation (plus the
    in-text studies), each printing paper-style rows computed from the
    simulation's virtual time. `all` runs everything — the output compared
-   against the paper lives in EXPERIMENTS.md. *)
+   against the paper lives in EXPERIMENTS.md.
+
+   `--json FILE` additionally serializes every cell produced, plus
+   EXPERIMENTS.md's shape expectations as pass/fail verdicts, into one
+   asymnvm-bench/1 document (see DESIGN.md §6) — the input format of
+   `asymnvm bench-diff`, gated in CI against bench/baseline.json. *)
 
 open Cmdliner
 open Asym_harness
 
 let scale_of full = if full then Experiments.full else Experiments.quick
-
+let scale_name full = if full then "full" else "quick"
 let duration_of full = Asym_sim.Simtime.ms (if full then 80 else 25)
 
 let full_flag =
   let doc = "Run at full scale (paper-sized preloads and op counts); slower." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
-let print_report r = Report.print r
+let json_arg =
+  let doc =
+    "Also write every produced cell and shape-check verdict to $(docv) as an \
+     asymnvm-bench/1 JSON document (for `asymnvm bench-diff`)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let run_one name full =
+(* One experiment -> its printable reports plus machine verdicts. *)
+let run_exp name full : (string * Report.t) list * Bench_json.check list =
   let sc = scale_of full in
   let dur = duration_of full in
+  let simple r = ([ (name, r) ], Bench_json.checks_for name r) in
   match name with
-  | "table1" -> print_report (Experiments.table1 sc)
-  | "table2" -> print_report (Experiments.table2 sc)
-  | "table3" -> print_report (Experiments.table3 sc)
-  | "fig6" -> print_report (Experiments.fig6 sc)
-  | "fig7" -> print_report (Experiments.fig7 sc)
-  | "fig8" -> print_report (Multiclient.fig8 ~preload:sc.Experiments.preload ~duration:dur)
-  | "fig9" -> print_report (Multiclient.fig9 ~preload:(sc.Experiments.preload / 2) ~duration:dur)
+  | "table1" -> simple (Experiments.table1 sc)
+  | "table2" -> simple (Experiments.table2 sc)
+  | "table3" -> simple (Experiments.table3 sc)
+  | "fig6" -> simple (Experiments.fig6 sc)
+  | "fig7" -> simple (Experiments.fig7 sc)
+  | "fig8" -> simple (Multiclient.fig8 ~preload:sc.Experiments.preload ~duration:dur)
+  | "fig9" -> simple (Multiclient.fig9 ~preload:(sc.Experiments.preload / 2) ~duration:dur)
   | "fig10" ->
-      print_report
+      simple
         (Multiclient.fig10 ~preload:(sc.Experiments.preload / 2) ~ops:(sc.Experiments.ops / 2))
   | "fig11" ->
-      print_report (Multiclient.fig11 ~preload:sc.Experiments.preload ~ops:(sc.Experiments.ops * 2))
-  | "fig12" -> print_report (Experiments.fig12 sc)
-  | "fig13" -> print_report (Experiments.fig13 sc)
-  | "cache_policy" -> print_report (Experiments.cache_policy sc)
-  | "sensitivity" -> print_report (Experiments.sensitivity sc)
-  | "latency" -> print_report (Experiments.latency sc)
-  | "ycsb" -> print_report (Experiments.ycsb sc)
-  | "lock_bench" -> print_report (Multiclient.lock_bench ~duration:dur)
-  | "ablation" -> print_report (Experiments.ablation sc)
-  | "bechamel" -> Bechamel_micro.run ()
-  | other -> Fmt.epr "unknown experiment: %s@." other
+      simple (Multiclient.fig11 ~preload:sc.Experiments.preload ~ops:(sc.Experiments.ops * 2))
+  | "fig12" -> simple (Experiments.fig12 sc)
+  | "fig13" -> simple (Experiments.fig13 sc)
+  | "cache_policy" -> simple (Experiments.cache_policy sc)
+  | "sensitivity" -> simple (Experiments.sensitivity sc)
+  | "latency" -> simple (Experiments.latency sc)
+  | "ycsb" -> simple (Experiments.ycsb sc)
+  | "lock_bench" -> simple (Multiclient.lock_bench ~duration:dur)
+  | "ablation" -> simple (Experiments.ablation sc)
+  | "breakdown" ->
+      let cells =
+        Breakdown.default_cells ~preload:sc.Experiments.preload ~ops:sc.Experiments.ops ()
+      in
+      ( [
+          ("breakdown", Breakdown.table cells);
+          ("breakdown_resources", Breakdown.resource_table cells);
+        ],
+        Breakdown.checks cells )
+  | "bechamel" ->
+      Bechamel_micro.run ();
+      ([], [])
+  | other ->
+      Fmt.epr "unknown experiment: %s@." other;
+      ([], [])
+
+let print_check (c : Bench_json.check) =
+  Fmt.pr "  check %s/%s: %s — %s@." c.Bench_json.experiment c.Bench_json.cname
+    (if c.Bench_json.pass then "PASS" else "FAIL")
+    c.Bench_json.detail
+
+let execute names full json =
+  let experiments, checks =
+    List.fold_left
+      (fun (racc, cacc) name ->
+        let reports, checks = run_exp name full in
+        List.iter (fun (_, r) -> Report.print r) reports;
+        List.iter print_check checks;
+        (racc @ reports, cacc @ checks))
+      ([], []) names
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+      Bench_json.write ~path
+        (Bench_json.doc ~scale:(scale_name full) ~experiments ~checks);
+      Fmt.pr "wrote %s (%d experiments, %d checks)@." path (List.length experiments)
+        (List.length checks)
 
 let experiments =
   [
     "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
-    "cache_policy"; "lock_bench"; "ablation"; "sensitivity"; "latency"; "ycsb";
+    "cache_policy"; "lock_bench"; "ablation"; "sensitivity"; "latency"; "ycsb"; "breakdown";
   ]
 
 let all_cmd =
-  let run full =
-    List.iter (fun e -> run_one e full) experiments;
+  let run full json =
+    execute experiments full json;
     Bechamel_micro.run ()
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment (and the Bechamel micro-benchmarks)")
-    Term.(const run $ full_flag)
+    Term.(const run $ full_flag $ json_arg)
 
 let sub cmd_name doc =
-  let runner = run_one cmd_name in
-  Cmd.v (Cmd.info cmd_name ~doc) Term.(const runner $ full_flag)
+  let runner full json = execute [ cmd_name ] full json in
+  Cmd.v (Cmd.info cmd_name ~doc) Term.(const runner $ full_flag $ json_arg)
 
 let cmds =
   [
@@ -82,6 +130,7 @@ let cmds =
     sub "ycsb" "Extension: YCSB core workloads A/B/C/D/F";
     sub "lock_bench" "In-text §6.3: lock ping-point test";
     sub "ablation" "Ablations of DESIGN.md design choices";
+    sub "breakdown" "Latency attribution: where each configuration's virtual time goes";
     sub "bechamel" "Bechamel wall-clock micro-benchmarks";
     all_cmd;
   ]
@@ -89,10 +138,10 @@ let cmds =
 let () =
   let default =
     Term.(
-      const (fun full ->
-          List.iter (fun e -> run_one e full) experiments;
+      const (fun full json ->
+          execute experiments full json;
           Bechamel_micro.run ())
-      $ full_flag)
+      $ full_flag $ json_arg)
   in
   let info = Cmd.info "asymnvm-bench" ~doc:"Regenerate the paper's tables and figures" in
   exit (Cmd.eval (Cmd.group ~default info cmds))

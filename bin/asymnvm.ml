@@ -5,14 +5,20 @@
      asymnvm drill                  exercise all five §7.2 failure cases
      asymnvm check                  crash-point sweep vs. reference models
      asymnvm trace                  traced multi-phase run + Chrome JSON
+     asymnvm profile                latency-attribution profile of one cell
+     asymnvm bench-diff OLD NEW     compare two bench --json documents
 
-   demo and drill also accept --trace FILE to record the same run. *)
+   demo and drill also accept --trace FILE to record the same run;
+   check accepts --json FILE for a machine-readable verdict document. *)
 
 open Cmdliner
 open Asym_core
 open Asym_sim
 module Obs = Asym_obs
 module Obs_report = Asym_harness.Obs_report
+module Bench_json = Asym_harness.Bench_json
+module Breakdown = Asym_harness.Breakdown
+module Runner = Asym_harness.Runner
 
 let lat = Latency.default
 
@@ -179,8 +185,68 @@ let drill_cmd =
 
 module Check = Asym_check
 
+(* asymnvm-check/1: machine-readable sweep verdicts (census histogram,
+   failure details with one-line reproducers, fuzz counters). *)
+let check_schema = "asymnvm-check/1"
+
+let failure_json (o : Check.Explorer.outcome) (f : Check.Explorer.failure) =
+  let open Obs.Json in
+  Obj
+    [
+      ("point", Int f.Check.Explorer.point);
+      ("site", String f.Check.Explorer.site);
+      ( "torn",
+        match f.Check.Explorer.torn with Some k -> Int k | None -> Null );
+      ("completed", Int f.Check.Explorer.completed);
+      ("detail", String f.Check.Explorer.detail);
+      ("reproduce", String (Check.Explorer.reproducer o f));
+    ]
+
+let sweep_json (o : Check.Explorer.outcome) =
+  let open Obs.Json in
+  Obj
+    [
+      ("structure", String o.Check.Explorer.structure);
+      ("ops", Int o.Check.Explorer.ops);
+      ("seed", String (Int64.to_string o.Check.Explorer.seed));
+      ("boundaries", Int o.Check.Explorer.boundaries);
+      ("points_run", Int o.Check.Explorer.points_run);
+      ( "sites",
+        Obj
+          (List.map
+             (fun (site, n) -> (site, Int n))
+             (List.sort (fun (_, a) (_, b) -> compare b a) o.Check.Explorer.sites)) );
+      ("failures", List (List.map (failure_json o) o.Check.Explorer.failures));
+    ]
+
+let fuzz_json (o : Check.Fuzz.outcome) =
+  let open Obs.Json in
+  Obj
+    [
+      ("structure", String o.Check.Fuzz.structure);
+      ("clients", Int o.Check.Fuzz.clients);
+      ("steps", Int o.Check.Fuzz.steps);
+      ("seed", String (Int64.to_string o.Check.Fuzz.seed));
+      ("ops_applied", Int o.Check.Fuzz.ops_applied);
+      ("validations", Int o.Check.Fuzz.validations);
+      ("client_crashes", Int o.Check.Fuzz.client_crashes);
+      ("backend_restarts", Int o.Check.Fuzz.backend_restarts);
+      ("mirror_crashes", Int o.Check.Fuzz.mirror_crashes);
+      ("promotions", Int o.Check.Fuzz.promotions);
+      ("failures", List (List.map (fun f -> String f) o.Check.Fuzz.failures));
+    ]
+
+let check_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the sweep and fuzz outcomes (census histograms, failures with one-line \
+           reproducers) to $(docv) as an asymnvm-check/1 JSON document.")
+
 let check_cmd =
-  let run structure ops seed stride no_tear point tear_point fuzz fuzz_clients =
+  let run structure ops seed stride no_tear point tear_point fuzz fuzz_clients json =
     let subjects =
       if structure = "all" then Check.Subject.all
       else
@@ -192,6 +258,7 @@ let check_cmd =
             exit 1
     in
     let failed = ref false in
+    let sweeps = ref [] and fuzzes = ref [] and points = ref [] in
     (match point with
     | Some point ->
         (* Reproducer mode: one schedule, one armed crash point. *)
@@ -200,7 +267,16 @@ let check_cmd =
             match Check.Explorer.run_point s ~ops ~seed ~point ~tear:tear_point with
             | None ->
                 Fmt.pr "%-10s point %d%s: OK@." s.Check.Subject.name point
-                  (if tear_point then " (torn)" else "")
+                  (if tear_point then " (torn)" else "");
+                points :=
+                  Obs.Json.Obj
+                    [
+                      ("structure", Obs.Json.String s.Check.Subject.name);
+                      ("point", Obs.Json.Int point);
+                      ("torn", Obs.Json.Bool tear_point);
+                      ("pass", Obs.Json.Bool true);
+                    ]
+                  :: !points
             | Some f ->
                 failed := true;
                 Fmt.pr "%-10s point %d (%s%s, %d ops completed): %s@." s.Check.Subject.name
@@ -208,7 +284,17 @@ let check_cmd =
                   (match f.Check.Explorer.torn with
                   | Some k -> Printf.sprintf ", torn keep=%d" k
                   | None -> "")
-                  f.Check.Explorer.completed f.Check.Explorer.detail)
+                  f.Check.Explorer.completed f.Check.Explorer.detail;
+                points :=
+                  Obs.Json.Obj
+                    [
+                      ("structure", Obs.Json.String s.Check.Subject.name);
+                      ("point", Obs.Json.Int point);
+                      ("torn", Obs.Json.Bool tear_point);
+                      ("pass", Obs.Json.Bool false);
+                      ("detail", Obs.Json.String f.Check.Explorer.detail);
+                    ]
+                  :: !points)
           subjects
     | None ->
         List.iter
@@ -218,6 +304,7 @@ let check_cmd =
             List.iter
               (fun (site, n) -> Fmt.pr "    %6d  %s@." n site)
               (List.sort (fun (_, a) (_, b) -> compare b a) o.Check.Explorer.sites);
+            sweeps := sweep_json o :: !sweeps;
             if o.Check.Explorer.failures <> [] then failed := true)
           subjects;
         match fuzz with
@@ -227,8 +314,31 @@ let check_cmd =
               (fun s ->
                 let o = Check.Fuzz.run ~clients:fuzz_clients s ~steps ~seed in
                 Fmt.pr "%a@." Check.Fuzz.pp_outcome o;
+                fuzzes := fuzz_json o :: !fuzzes;
                 if o.Check.Fuzz.failures <> [] then failed := true)
               subjects);
+    (match json with
+    | None -> ()
+    | Some path ->
+        let doc =
+          Obs.Json.Obj
+            [
+              ("schema", Obs.Json.String check_schema);
+              ("pass", Obs.Json.Bool (not !failed));
+              ("sweeps", Obs.Json.List (List.rev !sweeps));
+              ("points", Obs.Json.List (List.rev !points));
+              ("fuzz", Obs.Json.List (List.rev !fuzzes));
+            ]
+        in
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc (Obs.Json.to_string doc));
+           Fmt.pr "wrote %s@." path
+         with Sys_error msg ->
+           Fmt.epr "asymnvm: cannot write %s: %s@." path msg;
+           exit 2));
     if !failed then exit 1
   in
   let structure =
@@ -280,7 +390,7 @@ let check_cmd =
           boundary, crash there, recover, and validate against a pure reference model.")
     Term.(
       const run $ structure $ ops $ seed $ stride $ no_tear $ point $ tear_point $ fuzz
-      $ fuzz_clients)
+      $ fuzz_clients $ check_json_arg)
 
 (* -- trace ------------------------------------------------------------------ *)
 
@@ -333,6 +443,111 @@ let trace_cmd =
        ~doc:"Run a three-phase workload (insert/lookup/recover) with tracing on")
     Term.(const run $ n $ out)
 
+(* -- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run structure config preload ops =
+    let kind =
+      match Runner.ds_of_name structure with
+      | Some k -> k
+      | None ->
+          Fmt.epr "asymnvm: unknown structure %S (one of: %s)@." structure
+            (String.concat " " (List.map Runner.ds_name Runner.all_ds));
+          exit 1
+    in
+    let cfg =
+      match String.lowercase_ascii config with
+      | "naive" -> Client.naive ()
+      | "r" -> Client.r ()
+      | "rc" -> Client.rc ()
+      | "rcb" -> Client.rcb ()
+      | other ->
+          Fmt.epr "asymnvm: unknown config %S (naive, r, rc or rcb)@." other;
+          exit 1
+    in
+    (* The same drive `bench breakdown` uses: YCSB-A for key/value
+       structures, pure pushes for the FIFO family. *)
+    let put_ratio = if Runner.is_fifo kind then 1.0 else 0.5 in
+    let cell =
+      Breakdown.run_cell ~put_ratio
+        ~dist:(Asym_workload.Ycsb.Zipfian 0.99)
+        ~rig:(Runner.make_rig lat) ~cfg ~preload ~ops kind
+    in
+    Asym_harness.Report.print (Breakdown.table [ cell ]);
+    Asym_harness.Report.print (Breakdown.resource_table [ cell ])
+  in
+  let structure =
+    Arg.(
+      value & opt string "bpt"
+      & info [ "structure" ] ~docv:"NAME" ~doc:"Structure to profile (e.g. bpt, mv-bpt).")
+  in
+  let config =
+    Arg.(
+      value & opt string "rcb"
+      & info [ "config" ] ~docv:"CFG"
+          ~doc:"Optimization stack: $(b,naive), $(b,r), $(b,rc) or $(b,rcb).")
+  in
+  let preload =
+    Arg.(value & opt int 4000 & info [ "preload" ] ~docv:"N" ~doc:"Items loaded before measuring.")
+  in
+  let ops =
+    Arg.(value & opt int 4000 & info [ "ops" ] ~docv:"N" ~doc:"Measured operations.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Latency-attribution profile of one structure/config cell: where each virtual \
+          nanosecond went, by cause and by shared resource.")
+    Term.(const run $ structure $ config $ preload $ ops)
+
+(* -- bench-diff ------------------------------------------------------------- *)
+
+let bench_diff_cmd =
+  let run old_path new_path tolerance =
+    let load path =
+      try Bench_json.of_file path
+      with
+      | Sys_error msg ->
+          Fmt.epr "asymnvm: cannot read %s: %s@." path msg;
+          exit 2
+      | Obs.Json.Parse_error msg ->
+          Fmt.epr "asymnvm: %s: malformed JSON: %s@." path msg;
+          exit 2
+    in
+    let old_doc = load old_path in
+    let new_doc = load new_path in
+    match Bench_json.diff ~tolerance ~old_doc ~new_doc () with
+    | [] ->
+        Fmt.pr "bench-diff: OK — %s and %s agree (tolerance %.0f%%)@." old_path new_path
+          (100. *. tolerance)
+    | failures ->
+        List.iter (fun f -> Fmt.pr "bench-diff: %s@." f) failures;
+        Fmt.pr "bench-diff: %d difference(s) between %s and %s@." (List.length failures)
+          old_path new_path;
+        exit 1
+  in
+  let old_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc:"Reference document.")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"Candidate document.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.02
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Relative tolerance for numeric cells (default 0.02 = 2%).")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two asymnvm-bench/1 documents (from bench/main.exe --json) cell by cell; \
+          exit non-zero when cells drift beyond tolerance or shape checks flip.")
+    Term.(const run $ old_path $ new_path $ tolerance)
+
 let () =
   let info = Cmd.info "asymnvm" ~doc:"AsymNVM framework utility" in
-  exit (Cmd.eval (Cmd.group info [ layout_cmd; demo_cmd; drill_cmd; check_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ layout_cmd; demo_cmd; drill_cmd; check_cmd; trace_cmd; profile_cmd; bench_diff_cmd ]))

@@ -60,7 +60,9 @@ let create ?(name = "sym") ?(capacity = 64 * 1024 * 1024) ?(cfg = symmetric) lat
   let t_ref = ref None in
   let charge_alloc () =
     match !t_ref with
-    | Some t -> Clock.advance t.clk (Latency.nvm_write_cost t.lat 8 + t.lat.Latency.persist_fence_ns)
+    | Some t ->
+        Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.clk
+          (Latency.nvm_write_cost t.lat 8 + t.lat.Latency.persist_fence_ns)
     | None -> ()
   in
   let falloc =
@@ -161,12 +163,12 @@ let lookup_ds t name = Hashtbl.find_opt t.handles name
 
 let read ?hint t ~addr ~len =
   ignore hint;
-  Clock.advance t.clk (Latency.nvm_read_cost t.lat len);
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.clk (Latency.nvm_read_cost t.lat len);
   Asym_nvm.Device.read t.dev ~addr ~len
 
 let read_u64 t ?hint addr =
   ignore hint;
-  Clock.advance t.clk (Latency.nvm_read_cost t.lat 8);
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.clk (Latency.nvm_read_cost t.lat 8);
   Asym_nvm.Device.read_u64 t.dev ~addr
 
 (* Ship the accumulated log to the remote NVM without waiting (Mojim-style
@@ -184,7 +186,8 @@ let ship_log t =
 let write t ~ds ~addr value =
   ignore ds;
   (* Store + clwb per touched line. *)
-  Clock.advance t.clk (Latency.nvm_write_cost t.lat (Bytes.length value));
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.clk
+    (Latency.nvm_write_cost t.lat (Bytes.length value));
   Asym_nvm.Device.write t.dev ~addr value;
   t.pending_log_bytes <- t.pending_log_bytes + Bytes.length value + 13;
   t.lines_written <- t.lines_written + Latency.lines (Bytes.length value)
@@ -196,7 +199,8 @@ let write_u64 t ~ds addr v =
 
 let cas_u64 t ~ds addr ~expected ~desired =
   ignore ds;
-  Clock.advance t.clk (Latency.nvm_write_cost t.lat 8 + t.lat.Latency.persist_fence_ns);
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.clk
+    (Latency.nvm_write_cost t.lat 8 + t.lat.Latency.persist_fence_ns);
   Asym_nvm.Device.compare_and_swap t.dev ~addr ~expected ~desired
 
 let malloc t size =
@@ -219,7 +223,8 @@ let op_begin t ~ds ~optype ~params =
 let op_end t ~ds =
   ignore ds;
   (* Commit fence for the in-place mutations. *)
-  Clock.advance t.clk (t.lat.Latency.persist_fence_ns + t.lat.Latency.cpu_op_ns);
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.clk t.lat.Latency.persist_fence_ns;
+  Clock.advance t.clk t.lat.Latency.cpu_op_ns;
   t.n_ops <- t.n_ops + 1;
   t.ops_since_ship <- t.ops_since_ship + 1;
   if t.ops_since_ship >= t.cfg.log_batch then begin

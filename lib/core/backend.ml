@@ -664,7 +664,7 @@ let rpc t ~conn ~session req =
   let _ =
     Timeline.acquire t.nic_tl ~at:at0 ~dur:(t.lat.Latency.rdma_post_ns + req_payload)
   in
-  Clock.advance clk (t.lat.Latency.rdma_rtt_ns + req_payload);
+  Clock.advance ~cause:Asym_obs.Attr.Alloc_rpc clk (t.lat.Latency.rdma_rtt_ns + req_payload);
   let arrival = Clock.now clk in
   (* Processing on the back-end CPU; media time for whatever it persisted. *)
   let before = Device.bytes_written t.dev in
@@ -672,7 +672,9 @@ let rpc t ~conn ~session req =
   let after = Device.bytes_written t.dev in
   let proc = rpc_base_ns + Latency.nvm_write_cost t.lat (after - before) in
   let start = Timeline.acquire t.cpu_tl ~at:arrival ~dur:proc in
-  Clock.wait_until clk (start + proc);
+  (* Queueing behind the back-end CPU is replay backlog, not RPC work. *)
+  Clock.wait_until ~cause:Asym_obs.Attr.Replay_wait clk start;
+  Clock.wait_until ~cause:Asym_obs.Attr.Alloc_rpc clk (start + proc);
   if Asym_obs.enabled () then begin
     let op = req_label req in
     Asym_obs.Registry.inc ~labels:[ ("op", op) ] "backend.rpcs";
@@ -686,6 +688,6 @@ let rpc t ~conn ~session req =
     Timeline.acquire t.nic_tl ~at:(Clock.now clk)
       ~dur:(t.lat.Latency.rdma_post_ns + resp_payload)
   in
-  Clock.advance clk (t.lat.Latency.rdma_rtt_ns + resp_payload);
+  Clock.advance ~cause:Asym_obs.Attr.Alloc_rpc clk (t.lat.Latency.rdma_rtt_ns + resp_payload);
   t.n_rpcs <- t.n_rpcs + 1;
   Rpc_msg.decode_response respb

@@ -74,6 +74,7 @@ type t = {
   mutable next_opnum : int64;
   mutable cur_op : int64 option;
   mutable op_started : Simtime.t;  (* span anchor for the current op *)
+  mutable attr_mark : Asym_obs.Attr.snapshot;  (* attribution window for the current op *)
   mutable unsignaled_posts : int;
   mutable falloc : Front_alloc.t;
   handles : (string, Types.handle) Hashtbl.t;
@@ -201,6 +202,7 @@ let connect ?(name = "frontend") ?rng cfg bk ~clock =
       next_opnum = 1L;
       cur_op = None;
       op_started = 0;
+      attr_mark = Asym_obs.Attr.snapshot ();
       unsignaled_posts = 0;
       falloc = Front_alloc.create
           {
@@ -330,7 +332,7 @@ let oplog_append ?(signaled = None) t raw =
      t.unsignaled_posts <- t.unsignaled_posts + 1;
      if t.unsignaled_posts >= unsignaled_sync_period then begin
        (* Synchronize: wait for one full round trip to collect completions. *)
-       Clock.advance t.clk t.lat.Latency.rdma_rtt_ns;
+       Clock.advance ~cause:Asym_obs.Attr.Rdma_rtt t.clk t.lat.Latency.rdma_rtt_ns;
        t.unsignaled_posts <- 0
      end
    end);
@@ -347,6 +349,7 @@ let oplog_append ?(signaled = None) t raw =
 let op_begin t ~ds ~optype ~params =
   check_live t;
   t.op_started <- Clock.now t.clk;
+  if Asym_obs.enabled () then t.attr_mark <- Asym_obs.Attr.snapshot ();
   let opnum = t.next_opnum in
   t.next_opnum <- Int64.add opnum 1L;
   if use_op_log t.cfg then begin
@@ -528,7 +531,8 @@ let flush t =
    CPU. *)
 let persist_fence t =
   flush t;
-  Clock.wait_until t.clk (Timeline.free_at (Backend.cpu t.bk))
+  Clock.wait_until ~cause:Asym_obs.Attr.Replay_wait t.clk
+    (Timeline.free_at (Backend.cpu t.bk))
 
 let op_end t ~ds =
   check_live t;
@@ -540,7 +544,21 @@ let op_end t ~ds =
     let now = Clock.now t.clk in
     Asym_obs.Registry.inc ~labels:[ ("ds", string_of_int ds) ] "client.ops";
     Asym_obs.Registry.observe "client.op_ns" (float_of_int (now - t.op_started));
-    Asym_obs.Span.complete ~cat:"core" ~track:t.cname ~ts:t.op_started
+    (* Per-operation breakdown: everything charged since op_begin, by
+       cause — into histograms and onto the op span for the trace. *)
+    let by_cause =
+      List.filter
+        (fun (_, v) -> v > 0)
+        (Asym_obs.Attr.since t.attr_mark)
+    in
+    List.iter
+      (fun (c, v) ->
+        Asym_obs.Registry.observe
+          ~labels:[ ("cause", Asym_obs.Attr.name c) ]
+          "attr.op_ns" (float_of_int v))
+      by_cause;
+    let args = List.map (fun (c, v) -> (Asym_obs.Attr.name c, v)) by_cause in
+    Asym_obs.Span.complete ~cat:"core" ~args ~track:t.cname ~ts:t.op_started
       ~dur:(now - t.op_started) "client.op"
   end;
   match t.cfg.mode with
@@ -584,12 +602,12 @@ let writer_lock t (h : Types.handle) =
   lock_record t ~acquire:true h.Types.lock;
   let tl = Backend.lock_timeline t.bk h.Types.lock in
   (* First CAS attempt. *)
-  Clock.advance t.clk t.lat.Latency.rdma_atomic_ns;
+  Clock.advance ~cause:Asym_obs.Attr.Lock_wait t.clk t.lat.Latency.rdma_atomic_ns;
   let start = Timeline.hold tl ~at:(Clock.now t.clk) in
   if start > Clock.now t.clk then begin
     (* Contended: spin until the holder releases, then win a final CAS. *)
-    Clock.wait_until t.clk start;
-    Clock.advance t.clk t.lat.Latency.rdma_atomic_ns
+    Clock.wait_until ~cause:Asym_obs.Attr.Lock_wait t.clk start;
+    Clock.advance ~cause:Asym_obs.Attr.Lock_wait t.clk t.lat.Latency.rdma_atomic_ns
   end;
   Asym_nvm.Device.write_u64 (Backend.device t.bk) ~addr:h.Types.lock 1L
 
@@ -625,6 +643,7 @@ let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
      retry rate then matches what a truly interleaved execution of
      Algorithm 2 would observe. *)
   let rec attempt n =
+    let amark = if Asym_obs.enabled () then Some (Asym_obs.Attr.snapshot ()) else None in
     (* Reader_Lock: fetch the sequence number. *)
     let _sn_begin = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
     let started = Clock.now t.clk in
@@ -649,7 +668,14 @@ let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
     in
     if conflicted && n < max_read_retries then begin
       t.n_retries <- t.n_retries + 1;
-      if Asym_obs.enabled () then Asym_obs.Registry.inc "client.read_retries";
+      if Asym_obs.enabled () then begin
+        Asym_obs.Registry.inc "client.read_retries";
+        (* The failed attempt's time was wasted, whatever it was spent
+           on: re-classify it as retry cost (total preserved). *)
+        match amark with
+        | Some since -> Asym_obs.Attr.reattribute ~since Asym_obs.Attr.Read_retry
+        | None -> ()
+      end;
       (match t.cache with Some c -> Cache.clear c | None -> ());
       attempt (n + 1)
     end
@@ -729,7 +755,8 @@ let recover t =
   let ops = Backend.unreplayed_ops t.bk ~session:t.sid in
   (* Reading the op-log tail back costs one round trip plus payload. *)
   let bytes = List.fold_left (fun acc o -> acc + Bytes.length o.Log.Op_entry.params + 22) 0 ops in
-  Clock.advance t.clk (t.lat.Latency.rdma_rtt_ns + Latency.rdma_payload_ns t.lat bytes);
+  Clock.advance ~cause:Asym_obs.Attr.Rdma_rtt t.clk t.lat.Latency.rdma_rtt_ns;
+  Clock.advance ~cause:Asym_obs.Attr.Rdma_bytes t.clk (Latency.rdma_payload_ns t.lat bytes);
   if Asym_obs.enabled () then begin
     Asym_obs.Registry.add "log.recovered_ops" (List.length ops);
     Asym_obs.Span.complete ~cat:"fault" ~track:t.cname ~ts:obs_t0

@@ -1,0 +1,300 @@
+(* Machine-readable bench output: every table/figure cell as structured
+   records, EXPERIMENTS.md's shape expectations as pass/fail verdicts,
+   and a comparator for regression gating (asymnvm bench-diff). *)
+
+module Obs = Asym_obs
+
+let schema = "asymnvm-bench/1"
+
+type check = { experiment : string; cname : string; pass : bool; detail : string }
+
+(* -- cell parsing ----------------------------------------------------------- *)
+
+(* Cells are display strings ("154", "23.5", "1.95x", "29.2%", "–").
+   Strip the unit suffix; dashes and labels are non-numeric. *)
+let cell_num s =
+  let s = String.trim s in
+  let n = String.length s in
+  let s =
+    if n > 0 && (s.[n - 1] = 'x' || s.[n - 1] = '%') then String.sub s 0 (n - 1) else s
+  in
+  float_of_string_opt s
+
+(* -- document --------------------------------------------------------------- *)
+
+let strings xs = Obs.Json.List (List.map (fun s -> Obs.Json.String s) xs)
+
+let report_json (name, r) =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String name);
+      ("title", Obs.Json.String (Report.title r));
+      ("header", strings (Report.header r));
+      ("rows", Obs.Json.List (List.map strings (Report.rows r)));
+      ("notes", strings (Report.notes r));
+    ]
+
+let check_json c =
+  Obs.Json.Obj
+    [
+      ("experiment", Obs.Json.String c.experiment);
+      ("check", Obs.Json.String c.cname);
+      ("pass", Obs.Json.Bool c.pass);
+      ("detail", Obs.Json.String c.detail);
+    ]
+
+let doc ~scale ~experiments ~checks =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("scale", Obs.Json.String scale);
+      ("experiments", Obs.Json.List (List.map report_json experiments));
+      ("checks", Obs.Json.List (List.map check_json checks));
+    ]
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string json))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Obs.Json.parse (really_input_string ic (in_channel_length ic)))
+
+(* -- shape checks ------------------------------------------------------------ *)
+
+(* The expectations EXPERIMENTS.md states in prose, as verdicts computed
+   from the freshly produced cells. Thresholds carry slack so quick-scale
+   noise does not flap them (see the quick-scale numbers recorded there,
+   e.g. HashTable's best/Naive is only ~1.95x). *)
+
+let col header name =
+  let rec go i = function
+    | [] -> None
+    | h :: _ when h = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 header
+
+let cell row i = match List.nth_opt row i with Some s -> cell_num s | None -> None
+
+(* Evaluate [f naive opt] on every row where both columns are numeric;
+   fail on the first offending row. *)
+let all_rows ~experiment ~cname ~detail t ca cb f =
+  let header = Report.header t in
+  match (col header ca, col header cb) with
+  | Some ia, Some ib ->
+      let bad =
+        List.find_opt
+          (fun row ->
+            match (cell row ia, cell row ib) with
+            | Some a, Some b -> not (f a b)
+            | _ -> false)
+          (Report.rows t)
+      in
+      let pass = bad = None in
+      let detail =
+        match bad with
+        | None -> detail
+        | Some row -> Printf.sprintf "%s (fails at %s)" detail (List.hd row)
+      in
+      { experiment; cname; pass; detail }
+  | _ -> { experiment; cname; pass = false; detail = "missing column" }
+
+let best_optimized header row =
+  List.filter_map (fun c -> Option.bind (col header c) (cell row)) [ "R"; "RC"; "RCB" ]
+  |> List.fold_left max neg_infinity
+
+let table3_checks t =
+  let experiment = "table3" in
+  let header = Report.header t in
+  let speedup =
+    (* Some optimized configuration beats Naive by >= 1.5x on every row. *)
+    let bad =
+      List.find_opt
+        (fun row ->
+          match Option.bind (col header "Naive") (cell row) with
+          | Some naive -> best_optimized header row < 1.5 *. naive
+          | None -> false)
+        (Report.rows t)
+    in
+    {
+      experiment;
+      cname = "optimized_speedup";
+      pass = bad = None;
+      detail =
+        (match bad with
+        | None -> "best of R/RC/RCB >= 1.5x Naive on every row"
+        | Some row -> Printf.sprintf "best optimized < 1.5x Naive at %s" (List.hd row));
+    }
+  in
+  let crossover =
+    (* §6.2: batched multi-versioning is where AsymNVM overtakes the
+       symmetric upper bound (quick scale: only the MV-BPT row). *)
+    match
+      List.find_opt (fun row -> List.hd row = "MV-BPT") (Report.rows t)
+    with
+    | Some row -> (
+        match
+          ( Option.bind (col header "Symmetric") (cell row),
+            Option.bind (col header "RCB") (cell row) )
+        with
+        | Some sym, Some rcb ->
+            {
+              experiment;
+              cname = "mv_crossover";
+              pass = rcb >= sym;
+              detail = Printf.sprintf "MV-BPT RCB %.1f vs Symmetric %.1f" rcb sym;
+            }
+        | _ -> { experiment; cname = "mv_crossover"; pass = false; detail = "missing cell" })
+    | None -> { experiment; cname = "mv_crossover"; pass = false; detail = "missing MV-BPT row" }
+  in
+  [
+    all_rows ~experiment ~cname:"r_at_least_naive"
+      ~detail:"log reproducing never loses to Naive (2% slack)" t "Naive" "R"
+      (fun naive r -> r >= 0.98 *. naive);
+    speedup;
+    crossover;
+    all_rows ~experiment ~cname:"rc_no_regression"
+      ~detail:"the cache never costs more than 15% vs R alone" t "R" "RC"
+      (fun r rc -> rc >= 0.85 *. r);
+  ]
+
+let latency_checks t =
+  let experiment = "latency" in
+  let header = Report.header t in
+  match (col header "Config", col header "Mean") with
+  | Some ic, Some im ->
+      (* Group rows by benchmark; RCB's mean must beat Naive's. *)
+      let naive = Hashtbl.create 8 in
+      List.iter
+        (fun row ->
+          if List.nth_opt row ic = Some "Naive" then
+            Option.iter (Hashtbl.replace naive (List.hd row)) (cell row im))
+        (Report.rows t);
+      let bad =
+        List.find_opt
+          (fun row ->
+            List.nth_opt row ic = Some "RCB"
+            &&
+            match (Hashtbl.find_opt naive (List.hd row), cell row im) with
+            | Some n, Some rcb -> rcb >= n
+            | _ -> false)
+          (Report.rows t)
+      in
+      [
+        {
+          experiment;
+          cname = "rcb_mean_latency";
+          pass = bad = None;
+          detail =
+            (match bad with
+            | None -> "RCB mean latency below Naive on every benchmark"
+            | Some row -> Printf.sprintf "RCB mean >= Naive at %s" (List.hd row));
+        };
+      ]
+  | _ -> [ { experiment; cname = "rcb_mean_latency"; pass = false; detail = "missing column" } ]
+
+let sensitivity_checks t =
+  [
+    all_rows ~experiment:"sensitivity" ~cname:"rcb_advantage"
+      ~detail:"RCB beats Naive across the whole latency range" t "Naive" "RCB"
+      (fun naive rcb -> rcb > naive);
+  ]
+
+let checks_for name t =
+  match name with
+  | "table3" -> table3_checks t
+  | "latency" -> latency_checks t
+  | "sensitivity" -> sensitivity_checks t
+  | _ -> []
+
+(* -- diff ------------------------------------------------------------------- *)
+
+let experiment_list json =
+  match Obs.Json.member "experiments" json with
+  | Some (Obs.Json.List xs) ->
+      List.filter_map
+        (fun e ->
+          match Obs.Json.member "name" e with
+          | Some (Obs.Json.String n) -> Some (n, e)
+          | _ -> None)
+        xs
+  | _ -> []
+
+let rows_of e =
+  match Obs.Json.member "rows" e with
+  | Some (Obs.Json.List rows) ->
+      List.map (fun r -> List.map Obs.Json.to_str (Obs.Json.to_list r)) rows
+  | _ -> []
+
+let check_list json =
+  match Obs.Json.member "checks" json with
+  | Some (Obs.Json.List xs) ->
+      List.filter_map
+        (fun c ->
+          match
+            (Obs.Json.member "experiment" c, Obs.Json.member "check" c, Obs.Json.member "pass" c)
+          with
+          | Some (Obs.Json.String e), Some (Obs.Json.String n), Some (Obs.Json.Bool p) ->
+              Some ((e, n), p)
+          | _ -> None)
+        xs
+  | _ -> []
+
+let str_member key json =
+  match Obs.Json.member key json with Some (Obs.Json.String s) -> Some s | _ -> None
+
+(* Compare two bench documents. Numeric cells must agree within
+   [tolerance] (relative); non-numeric cells exactly; shape-check
+   verdicts must not flip. Returns human-readable failure lines. *)
+let diff ?(tolerance = 0.02) ~old_doc ~new_doc () =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (match (str_member "scale" old_doc, str_member "scale" new_doc) with
+  | Some a, Some b when a <> b -> fail "scale mismatch: %s vs %s (not comparable)" a b
+  | _ -> ());
+  let olds = experiment_list old_doc and news = experiment_list new_doc in
+  List.iter
+    (fun (name, oe) ->
+      match List.assoc_opt name news with
+      | None -> fail "%s: experiment missing from new document" name
+      | Some ne ->
+          let orows = rows_of oe and nrows = rows_of ne in
+          if List.length orows <> List.length nrows then
+            fail "%s: row count %d -> %d" name (List.length orows) (List.length nrows)
+          else
+            List.iteri
+              (fun ri orow ->
+                let nrow = List.nth nrows ri in
+                let label = match orow with l :: _ -> l | [] -> string_of_int ri in
+                List.iteri
+                  (fun ci ocell ->
+                    match List.nth_opt nrow ci with
+                    | None -> fail "%s/%s: column %d disappeared" name label ci
+                    | Some ncell -> (
+                        match (cell_num ocell, cell_num ncell) with
+                        | Some ov, Some nv ->
+                            let denom = Float.max (Float.abs ov) 1e-9 in
+                            let rel = Float.abs (nv -. ov) /. denom in
+                            if rel > tolerance then
+                              fail "%s/%s[%d]: %s -> %s (%.1f%% > %.1f%% tolerance)" name
+                                label ci ocell ncell (100. *. rel) (100. *. tolerance)
+                        | _ ->
+                            if ocell <> ncell then
+                              fail "%s/%s[%d]: %S -> %S" name label ci ocell ncell))
+                  orow)
+              orows)
+    olds;
+  List.iter
+    (fun ((e, n), opass) ->
+      match List.assoc_opt (e, n) (check_list new_doc) with
+      | None -> fail "%s/%s: shape check missing from new document" e n
+      | Some npass ->
+          if opass && not npass then fail "%s/%s: shape check regressed (pass -> FAIL)" e n
+          else if (not opass) && npass then fail "%s/%s: shape check now passes (refresh baseline)" e n)
+    (check_list old_doc);
+  List.rev !failures

@@ -17,6 +17,11 @@ let span_summary ?(top = 15) () =
           Obs.Summary.format_ns r.Obs.Summary.max_ns;
         ])
     (Obs.Summary.spans ~top ());
+  let dropped = Obs.Span.dropped () in
+  if dropped > 0 then
+    Report.note t
+      (Printf.sprintf "span ring dropped %d event(s); raise Span.set_capacity for full traces"
+         dropped);
   t
 
 let counter_summary ?(top = 15) () =
@@ -35,12 +40,19 @@ let snapshots : (string * Obs.Json.t) list ref = ref []
 
 let phase label f =
   if not (Obs.enabled ()) then f ()
-  else
+  else begin
+    (* Start from a clean registry AND attribution sink, so the snapshot
+       is exactly this phase's charges; the sink is folded into
+       [attr.ns{cause=...}] counters before snapshotting. *)
+    Obs.Registry.reset ();
+    Obs.Attr.reset ();
     Fun.protect
       ~finally:(fun () ->
+        Obs.Attr.flush_to_registry ();
         snapshots := !snapshots @ [ (label, Obs.Registry.to_json ()) ];
         Obs.Registry.reset ())
       f
+  end
 
 let phase_snapshots () = !snapshots
 let reset_phases () = snapshots := []
@@ -56,6 +68,25 @@ let counter_total name json =
           | _ -> acc)
         0 series
   | _ -> 0
+
+(* All (labels, value) points of one counter in a snapshot document. *)
+let counter_series name json =
+  match Obs.Json.member "counters" json with
+  | Some (Obs.Json.List series) ->
+      List.filter_map
+        (fun s ->
+          match (Obs.Json.member "name" s, Obs.Json.member "value" s) with
+          | Some (Obs.Json.String n), Some v when n = name ->
+              let labels =
+                match Obs.Json.member "labels" s with
+                | Some (Obs.Json.Obj kvs) ->
+                    List.map (fun (k, j) -> (k, Obs.Json.to_str j)) kvs
+                | _ -> []
+              in
+              Some (labels, Obs.Json.to_int v)
+          | _ -> None)
+        series
+  | _ -> []
 
 let count_series json =
   [ "counters"; "gauges"; "histograms" ]

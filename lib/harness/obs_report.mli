@@ -13,13 +13,21 @@ val counter_summary : ?top:int -> unit -> Report.t
 (** Top-N counters by value, labels rendered inline. *)
 
 val phase : string -> (unit -> 'a) -> 'a
-(** [phase label f] scopes the metrics registry to [f]: on completion the
-    registry is snapshotted under [label] (see {!phase_snapshots}) and
-    reset, so each experiment phase starts from zero. The span ring is
-    left alone — traces span phases. No-op wrapper while disabled. *)
+(** [phase label f] scopes the metrics registry to [f]: the registry and
+    the attribution sink are cleared on entry; on completion the sink is
+    folded into [attr.ns{cause=...}] counters, the registry is
+    snapshotted under [label] (see {!phase_snapshots}) and reset, so each
+    experiment phase starts from zero. The span ring is left alone —
+    traces span phases. No-op wrapper while disabled. *)
 
 val phase_snapshots : unit -> (string * Asym_obs.Json.t) list
 (** Snapshots collected by {!phase}, oldest first. *)
+
+val counter_total : string -> Asym_obs.Json.t -> int
+(** Sum of one counter's points (across labels) in a phase snapshot. *)
+
+val counter_series : string -> Asym_obs.Json.t -> ((string * string) list * int) list
+(** All (labels, value) points of one counter in a phase snapshot. *)
 
 val reset_phases : unit -> unit
 

@@ -4,11 +4,16 @@ type t = {
   title : string;
   header : string list;
   mutable rows : string list list;  (* newest first *)
-  notes : string list;
+  mutable notes : string list;
 }
 
 let create ~title ~header ?(notes = []) () = { title; header; rows = []; notes }
 let add_row t row = t.rows <- row :: t.rows
+let note t n = t.notes <- t.notes @ [ n ]
+let title t = t.title
+let header t = t.header
+let rows t = List.rev t.rows
+let notes t = t.notes
 
 let kops v = Printf.sprintf "%.1f" v
 let mops v = Printf.sprintf "%.2f" v

@@ -6,6 +6,20 @@ type t
 val create : title:string -> header:string list -> ?notes:string list -> unit -> t
 val add_row : t -> string list -> unit
 
+val note : t -> string -> unit
+(** Append a footnote. *)
+
+(** Accessors (for the JSON bench pipeline). *)
+
+val title : t -> string
+
+val header : t -> string list
+
+val rows : t -> string list list
+(** Display order (oldest first). *)
+
+val notes : t -> string list
+
 (** Cell formatters. *)
 
 val kops : float -> string

@@ -19,6 +19,11 @@ let ds_name = function
   | Mv_bpt -> "MV-BPT"
 
 let all_ds = [ Queue; Stack; Hash_table; Skip_list; Bst; Bpt; Mv_bst; Mv_bpt ]
+
+let ds_of_name s =
+  let canon s = String.lowercase_ascii (String.concat "" (String.split_on_char '-' s)) in
+  List.find_opt (fun k -> canon (ds_name k) = canon s) all_ds
+
 let is_fifo = function Queue | Stack -> true | _ -> false
 
 (* A uniform facade over one attached structure instance. *)

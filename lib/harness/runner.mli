@@ -10,6 +10,11 @@ type ds_kind = Queue | Stack | Hash_table | Skip_list | Bst | Bpt | Mv_bst | Mv_
 
 val ds_name : ds_kind -> string
 val all_ds : ds_kind list
+
+val ds_of_name : string -> ds_kind option
+(** Case-insensitive, dash-insensitive inverse of {!ds_name}
+    (["mv-bpt"], ["MVBPT"] and ["MV-BPT"] all resolve). *)
+
 val is_fifo : ds_kind -> bool
 
 (** Uniform facade over one attached structure instance. Key/value

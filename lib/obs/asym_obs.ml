@@ -8,6 +8,7 @@
 
 module Json = Json
 module Registry = Registry
+module Attr = Attr
 module Span = Span
 module Export_chrome = Export_chrome
 module Summary = Summary
@@ -17,4 +18,5 @@ let enabled = Gate.enabled
 
 let reset () =
   Registry.reset ();
+  Attr.reset ();
   Span.reset ()

@@ -1,0 +1,51 @@
+(** Latency attribution: a cause tag for every virtual nanosecond.
+
+    [Sim.Clock] charges each forward movement of a clock into a global
+    per-cause sink ({!charge} is called from [advance]/[wait_until], so
+    the per-cause sums equal elapsed virtual time by construction — the
+    conservation property the test suite asserts). Charging is a no-op
+    while the observability gate is off. *)
+
+type cause =
+  | Rdma_rtt  (** fixed RDMA round-trip / atomic-verb latency *)
+  | Rdma_bytes  (** wire serialization time, proportional to payload *)
+  | Nic_queue  (** queueing behind other work on the remote NIC *)
+  | Nvm_media  (** NVM media read/write time visible to the client *)
+  | Lock_wait  (** acquiring the writer lock: CAS probes + spinning *)
+  | Read_retry  (** optimistic read sections that failed validation *)
+  | Replay_wait  (** persist fences waiting out back-end log replay *)
+  | Alloc_rpc  (** management RPCs (allocation, naming, sessions) *)
+  | Local_compute  (** front-end DRAM/CPU work (cache hits, buffering) *)
+
+val all : cause list
+val name : cause -> string
+val of_name : string -> cause option
+
+val charge : cause -> int -> unit
+(** Add [d] ns to a cause (no-op when disabled or [d <= 0]). *)
+
+val get : cause -> int
+val total : unit -> int
+val breakdown : unit -> (cause * int) list
+(** Non-zero causes only. *)
+
+val reset : unit -> unit
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** A copy of the sink, for windowed deltas ({!since}). *)
+
+val since : snapshot -> (cause * int) list
+(** Per-cause ns charged since the snapshot (all nine causes). *)
+
+val reattribute : since:snapshot -> cause -> unit
+(** Re-classify everything charged since the snapshot as [cause]
+    (total preserved) — how failed read-section attempts become
+    [Read_retry]. *)
+
+val flush_to_registry : unit -> unit
+(** Move the sink into [attr.ns{cause=...}] registry counters and clear
+    it (phase scoping). *)
+
+val to_json : unit -> Json.t

@@ -28,8 +28,16 @@ let event_json table (ev : Span.event) =
       ("ts", us ev.Span.ts);
     ]
   in
+  (* Args surface in Perfetto's aggregate/args panes — the attribution
+     cause map attached by the core layer renders as ns per cause. *)
+  let args =
+    match ev.Span.args with
+    | [] -> []
+    | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)) ]
+  in
   match ev.Span.kind with
-  | Span.Complete dur -> Json.Obj (base @ [ ("ph", Json.String "X"); ("dur", us dur) ])
+  | Span.Complete dur ->
+      Json.Obj (base @ [ ("ph", Json.String "X"); ("dur", us dur) ] @ args)
   | Span.Instant -> Json.Obj (base @ [ ("ph", Json.String "i"); ("s", Json.String "t") ])
 
 let thread_meta table =

@@ -1,8 +1,15 @@
 type kind = Complete of int | Instant
 
-type event = { name : string; cat : string; track : string; ts : int; kind : kind }
+type event = {
+  name : string;
+  cat : string;
+  track : string;
+  ts : int;
+  kind : kind;
+  args : (string * int) list;
+}
 
-let dummy = { name = ""; cat = ""; track = ""; ts = 0; kind = Instant }
+let dummy = { name = ""; cat = ""; track = ""; ts = 0; kind = Instant; args = [] }
 
 (* Ring buffer, oldest-overwritten. [written] counts all events ever
    recorded since the last reset; the next write lands at
@@ -28,9 +35,9 @@ let record ev =
   ring.written <- ring.written + 1;
   if ev.ts > ring.latest then ring.latest <- ev.ts
 
-let complete ?(cat = "span") ~track ~ts ~dur name =
+let complete ?(cat = "span") ?(args = []) ~track ~ts ~dur name =
   if Gate.enabled () then begin
-    record { name; cat; track; ts; kind = Complete (max 0 dur) };
+    record { name; cat; track; ts; kind = Complete (max 0 dur); args };
     (* A span's end is the latest instant it touches. *)
     if ts + dur > ring.latest then ring.latest <- ts + dur
   end
@@ -38,7 +45,7 @@ let complete ?(cat = "span") ~track ~ts ~dur name =
 let instant ?(cat = "event") ?(track = "events") ?ts name =
   if Gate.enabled () then
     let ts = match ts with Some t -> t | None -> ring.latest in
-    record { name; cat; track; ts; kind = Instant }
+    record { name; cat; track; ts; kind = Instant; args = [] }
 
 let with_span ?cat ~track ~now name f =
   if not (Gate.enabled ()) then f ()

@@ -21,6 +21,9 @@ type event = {
   track : string;
   ts : int;  (** simulated nanoseconds *)
   kind : kind;
+  args : (string * int) list;
+      (** integer annotations carried into the Chrome trace (the core
+          layer attaches the per-operation attribution cause map here) *)
 }
 
 val set_capacity : int -> unit
@@ -31,9 +34,10 @@ val reset : unit -> unit
 
 (** {2 Recording} (no-ops while observability is disabled) *)
 
-val complete : ?cat:string -> track:string -> ts:int -> dur:int -> string -> unit
+val complete :
+  ?cat:string -> ?args:(string * int) list -> track:string -> ts:int -> dur:int -> string -> unit
 (** A span known after the fact: [ts] its simulated start, [dur] its
-    simulated length. *)
+    simulated length. [args] are integer annotations (ns by cause). *)
 
 val instant : ?cat:string -> ?track:string -> ?ts:int -> string -> unit
 (** A point event. [ts] defaults to the latest timestamp the tracer has

@@ -46,8 +46,12 @@ let round_trip t ~op ~wire ~service ~media =
   let dur = t.lat.Latency.rdma_post_ns + service in
   let start = Timeline.acquire t.remote_nic ~at ~dur in
   let queueing = start - at in
-  let total = queueing + t.lat.Latency.rdma_rtt_ns + service + media in
-  Clock.advance t.client total;
+  (* Same total as one combined advance, but each component lands on its
+     own attribution cause. *)
+  Clock.advance ~cause:Asym_obs.Attr.Nic_queue t.client queueing;
+  Clock.advance ~cause:Asym_obs.Attr.Rdma_rtt t.client t.lat.Latency.rdma_rtt_ns;
+  Clock.advance ~cause:Asym_obs.Attr.Rdma_bytes t.client service;
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.client media;
   t.ops <- t.ops + 1;
   obs_verb t ~op ~wire ~start ~dur;
   start + dur + media
@@ -102,7 +106,9 @@ let atomic t ~op ~media =
   let dur = t.lat.Latency.rdma_post_ns in
   let start = Timeline.acquire t.remote_nic ~at ~dur in
   let queueing = start - at in
-  Clock.advance t.client (queueing + t.lat.Latency.rdma_atomic_ns + media);
+  Clock.advance ~cause:Asym_obs.Attr.Nic_queue t.client queueing;
+  Clock.advance ~cause:Asym_obs.Attr.Rdma_rtt t.client t.lat.Latency.rdma_atomic_ns;
+  Clock.advance ~cause:Asym_obs.Attr.Nvm_media t.client media;
   t.ops <- t.ops + 1;
   t.wire_bytes <- t.wire_bytes + 16;
   obs_verb t ~op ~wire:16 ~start ~dur

@@ -4,12 +4,21 @@ let create ?(name = "node") () = { name; now = 0; busy = 0 }
 let name t = t.name
 let now t = t.now
 
-let advance t d =
+(* Every forward movement of [now] is charged to an attribution cause
+   here, at the single choke point — so summing the per-cause sink always
+   reproduces elapsed virtual time exactly (the conservation property). *)
+let advance ?(cause = Asym_obs.Attr.Local_compute) t d =
   assert (d >= 0);
+  Asym_obs.Attr.charge cause d;
   t.now <- t.now + d;
   t.busy <- t.busy + d
 
-let wait_until t at = if at > t.now then t.now <- at
+let wait_until ?(cause = Asym_obs.Attr.Local_compute) t at =
+  if at > t.now then begin
+    Asym_obs.Attr.charge cause (at - t.now);
+    t.now <- at
+  end
+
 let busy t = t.busy
 
 let utilization t ~since ~busy_since =

@@ -11,11 +11,13 @@ val create : ?name:string -> unit -> t
 val name : t -> string
 val now : t -> Simtime.t
 
-val advance : t -> Simtime.t -> unit
-(** Spend [d] nanoseconds of busy time. *)
+val advance : ?cause:Asym_obs.Attr.cause -> t -> Simtime.t -> unit
+(** Spend [d] nanoseconds of busy time, charged to [cause] (default
+    [Local_compute]) in the attribution sink when observability is on. *)
 
-val wait_until : t -> Simtime.t -> unit
-(** Block (idle) until the given absolute time, if it is in the future. *)
+val wait_until : ?cause:Asym_obs.Attr.cause -> t -> Simtime.t -> unit
+(** Block (idle) until the given absolute time, if it is in the future.
+    The idle gap is charged to [cause] (default [Local_compute]). *)
 
 val busy : t -> Simtime.t
 (** Total busy time accumulated so far. *)

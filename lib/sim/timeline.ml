@@ -12,6 +12,7 @@ type t = {
   mutable horizon : Simtime.t;  (* nothing may be scheduled before this *)
   mutable free : Simtime.t;  (* open-ended hold bookkeeping *)
   mutable busy : Simtime.t;
+  mutable queued : Simtime.t;  (* total wait between request and grant *)
 }
 
 let initial_capacity = 256
@@ -26,6 +27,7 @@ let create ?(name = "resource") () =
     horizon = 0;
     free = 0;
     busy = 0;
+    queued = 0;
   }
 
 let name t = t.name
@@ -79,8 +81,20 @@ let insert_at t i start stop =
     t.count <- t.count + 1
   end
 
+(* Split the grant into queueing delay (request -> start) and service
+   time (the slot itself), per resource, in the obs registry. The
+   [enabled] pre-check keeps the disabled path allocation-free. *)
+let book t ~wait ~service =
+  t.queued <- t.queued + wait;
+  if Asym_obs.enabled () then begin
+    let labels = [ ("resource", t.name) ] in
+    if wait > 0 then Asym_obs.Registry.add ~labels "timeline.queue_ns" wait;
+    if service > 0 then Asym_obs.Registry.add ~labels "timeline.service_ns" service
+  end
+
 let acquire t ~at ~dur =
   assert (dur >= 0);
+  let requested = at in
   let at = Simtime.max at t.horizon in
   if dur = 0 then at
   else begin
@@ -96,22 +110,29 @@ let acquire t ~at ~dur =
     prune t;
     t.busy <- t.busy + dur;
     if start + dur > t.free then t.free <- start + dur;
+    book t ~wait:(start - requested) ~service:dur;
     start
   end
 
-let hold t ~at = Simtime.max at t.free
+let hold t ~at =
+  let start = Simtime.max at t.free in
+  book t ~wait:(start - at) ~service:0;
+  start
 
 let release t ~at =
   if at > t.free then begin
+    book t ~wait:0 ~service:(at - t.free);
     t.busy <- t.busy + (at - t.free);
     t.free <- at
   end
 
 let free_at t = t.free
 let busy_total t = t.busy
+let queued_total t = t.queued
 
 let reset t =
   t.count <- 0;
   t.horizon <- 0;
   t.free <- 0;
-  t.busy <- 0
+  t.busy <- 0;
+  t.queued <- 0

@@ -28,4 +28,10 @@ val free_at : t -> Simtime.t
 val busy_total : t -> Simtime.t
 (** Total busy time scheduled on this resource. *)
 
+val queued_total : t -> Simtime.t
+(** Total queueing delay (request time to grant time) absorbed by
+    requests on this resource. With observability on, the same split is
+    published as [timeline.queue_ns] / [timeline.service_ns] counters
+    labelled by resource name. *)
+
 val reset : t -> unit
