@@ -53,6 +53,8 @@ let run_exp name full : (string * Report.t) list * Bench_json.check list =
   | "latency" -> simple (Experiments.latency sc)
   | "ycsb" -> simple (Experiments.ycsb sc)
   | "lock_bench" -> simple (Multiclient.lock_bench ~duration:dur)
+  | "contention" ->
+      simple (Multiclient.contention ~preload:(sc.Experiments.preload / 2) ~duration:dur)
   | "ablation" -> simple (Experiments.ablation sc)
   | "breakdown" ->
       let cells =
@@ -96,8 +98,13 @@ let execute names full json =
 let experiments =
   [
     "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
-    "cache_policy"; "lock_bench"; "ablation"; "sensitivity"; "latency"; "ycsb"; "breakdown";
+    "cache_policy"; "lock_bench"; "contention"; "ablation"; "sensitivity"; "latency"; "ycsb";
+    "breakdown";
   ]
+
+(* The CI bench gate: the cheap experiments whose cells and shape
+   verdicts are committed as bench/baseline.json. *)
+let smoke_experiments = [ "table3"; "contention" ]
 
 let all_cmd =
   let run full json =
@@ -129,6 +136,12 @@ let cmds =
     sub "latency" "Extension: per-operation latency percentiles";
     sub "ycsb" "Extension: YCSB core workloads A/B/C/D/F";
     sub "lock_bench" "In-text §6.3: lock ping-point test";
+    sub "contention" "Lock-contention scaling: N writers racing for one shared structure";
+    (let runner full json = execute smoke_experiments full json in
+     Cmd.v
+       (Cmd.info "smoke"
+          ~doc:"CI bench gate: table3 + contention (the bench/baseline.json set)")
+       Term.(const runner $ full_flag $ json_arg));
     sub "ablation" "Ablations of DESIGN.md design choices";
     sub "breakdown" "Latency attribution: where each configuration's virtual time goes";
     sub "bechamel" "Bechamel wall-clock micro-benchmarks";

@@ -67,8 +67,8 @@ let () =
   in
   Sched.run
     [
-      Sched.client ~clock:pclock ~step:producer_step;
-      Sched.client ~clock:cclock ~step:consumer_step;
+      Sched.stepper ~clock:pclock ~step:producer_step;
+      Sched.stepper ~clock:cclock ~step:consumer_step;
     ];
   (* Drain the tail. *)
   let rec drain () =

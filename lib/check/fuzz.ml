@@ -103,6 +103,33 @@ let step_op w ~step:_ =
   w.models.(c) <- Model.apply w.models.(c) op;
   w.opnum.(c) <- w.opnum.(c) + 1
 
+(* Verb-granular burst: one operation on every client at once, under the
+   co-simulation scheduler, so their RDMA verbs genuinely interleave on
+   the shared back-end NIC and memory-log rings. Each client drives its
+   own structure, so the per-client reference models stay sequential.
+   The operations are drawn from the world RNG before the scheduler
+   starts, keeping the step a pure function of the seed. *)
+let step_cosim_burst w ~step:_ =
+  let ops =
+    Array.mapi
+      (fun c _ -> Model.random_op w.rng ~kind:w.subject.Subject.kind ~i:w.opnum.(c))
+      w.fes
+  in
+  let burst =
+    Array.to_list
+      (Array.mapi
+         (fun c fe ->
+           Sched.client ~clock:(Client.clock fe) ~run:(fun () ->
+               w.insts.(c).Subject.apply ops.(c)))
+         w.fes)
+  in
+  Sched.run burst;
+  Array.iteri
+    (fun c op ->
+      w.models.(c) <- Model.apply w.models.(c) op;
+      w.opnum.(c) <- w.opnum.(c) + 1)
+    ops
+
 let step_client_crash w ~step =
   let c = Asym_util.Rng.int w.rng (Array.length w.fes) in
   Client.crash w.fes.(c);
@@ -191,9 +218,12 @@ let run ?(clients = 2) (subject : Subject.t) ~steps ~seed:sd =
   and promotions = ref 0 in
   for step = 1 to steps do
     (match Asym_util.Rng.int w.rng 100 with
-    | r when r < 70 ->
+    | r when r < 62 ->
         step_op w ~step;
         incr ops_applied
+    | r when r < 70 ->
+        step_cosim_burst w ~step;
+        ops_applied := !ops_applied + Array.length w.fes
     | r when r < 80 ->
         validate w ~step ~event:"validate" (Asym_util.Rng.int w.rng clients);
         incr validations

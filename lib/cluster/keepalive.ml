@@ -45,3 +45,17 @@ let crashed t ~now =
 
 let forget t node = Hashtbl.remove t.seen node
 let members t = Hashtbl.fold (fun node _ acc -> node :: acc) t.seen []
+
+(* A co-simulated heartbeat: registers the node, then renews every
+   [period] until [until]. Each wait is a scheduler suspension point, so
+   when run alongside front-end clients the renewals land between their
+   verbs at true virtual times — lease expiry races verb traffic instead
+   of being checked only at operation boundaries. *)
+let heartbeat t ~clock ~node ~period ~until =
+  Asym_sim.Sched.client ~clock ~run:(fun () ->
+      renew t node ~now:(Asym_sim.Clock.now clock);
+      while Asym_sim.Clock.now clock < until do
+        let next = min until (Asym_sim.Clock.now clock + period) in
+        Asym_sim.Clock.wait_until clock next;
+        renew t node ~now:(Asym_sim.Clock.now clock)
+      done)

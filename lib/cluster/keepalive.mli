@@ -33,3 +33,16 @@ val forget : t -> node_id -> unit
 (** Remove a node from the group (Case 5: crashed mirror is dropped). *)
 
 val members : t -> node_id list
+
+val heartbeat :
+  t ->
+  clock:Asym_sim.Clock.t ->
+  node:node_id ->
+  period:Asym_sim.Simtime.t ->
+  until:Asym_sim.Simtime.t ->
+  Asym_sim.Sched.client
+(** A co-simulation client that registers [node] and then renews its
+    lease every [period] of virtual time until [until]. Handed to
+    {!Asym_sim.Sched.run} alongside front-end clients, each renewal is a
+    suspension point, so lease timers genuinely interleave with RDMA
+    verb traffic instead of firing only at operation boundaries. *)

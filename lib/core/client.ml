@@ -74,15 +74,18 @@ type t = {
   mutable next_opnum : int64;
   mutable cur_op : int64 option;
   mutable op_started : Simtime.t;  (* span anchor for the current op *)
-  mutable attr_mark : Asym_obs.Attr.snapshot;  (* attribution window for the current op *)
+  (* Attribution window for the current op, over the clock's local sink —
+     so the window survives mid-operation suspension under the co-sim
+     (other clients charge the global sink while we are suspended). *)
+  mutable attr_mark : Asym_obs.Attr.snapshot;
   mutable unsignaled_posts : int;
   mutable falloc : Front_alloc.t;
   handles : (string, Types.handle) Hashtbl.t;
-  section_started : (Types.ds_id, Simtime.t) Hashtbl.t;  (* per-ds previous section start *)
   mutable crashed : bool;
   mutable n_flushes : int;
   mutable n_ops : int;
   mutable n_retries : int;
+  mutable lock_wait_ns : Simtime.t;  (* virtual time spent acquiring writer locks *)
 }
 
 let clock t = t.clk
@@ -94,6 +97,7 @@ let is_crashed t = t.crashed
 let flushes t = t.n_flushes
 let ops_executed t = t.n_ops
 let read_retries t = t.n_retries
+let lock_wait_ns t = t.lock_wait_ns
 let rdma_ops t = Verbs.ops_posted t.conn
 let rdma_bytes t = Verbs.bytes_on_wire t.conn
 let allocator t = t.falloc
@@ -202,7 +206,7 @@ let connect ?(name = "frontend") ?rng cfg bk ~clock =
       next_opnum = 1L;
       cur_op = None;
       op_started = 0;
-      attr_mark = Asym_obs.Attr.snapshot ();
+      attr_mark = Asym_obs.Attr.local_snapshot (Clock.attr clock);
       unsignaled_posts = 0;
       falloc = Front_alloc.create
           {
@@ -213,11 +217,11 @@ let connect ?(name = "frontend") ?rng cfg bk ~clock =
             slab_base_of = (fun a -> a);
           };
       handles = Hashtbl.create 8;
-      section_started = Hashtbl.create 8;
       crashed = false;
       n_flushes = 0;
       n_ops = 0;
       n_retries = 0;
+      lock_wait_ns = 0;
     }
   in
   (match Backend.rpc bk ~conn ~session:None (Rpc_msg.Open_session { client_name = name; reuse = None }) with
@@ -349,7 +353,7 @@ let oplog_append ?(signaled = None) t raw =
 let op_begin t ~ds ~optype ~params =
   check_live t;
   t.op_started <- Clock.now t.clk;
-  if Asym_obs.enabled () then t.attr_mark <- Asym_obs.Attr.snapshot ();
+  if Asym_obs.enabled () then t.attr_mark <- Asym_obs.Attr.local_snapshot (Clock.attr t.clk);
   let opnum = t.next_opnum in
   t.next_opnum <- Int64.add opnum 1L;
   if use_op_log t.cfg then begin
@@ -549,7 +553,7 @@ let op_end t ~ds =
     let by_cause =
       List.filter
         (fun (_, v) -> v > 0)
-        (Asym_obs.Attr.since t.attr_mark)
+        (Asym_obs.Attr.local_since (Clock.attr t.clk) t.attr_mark)
     in
     List.iter
       (fun (c, v) ->
@@ -597,19 +601,38 @@ let lock_record t ~acquire lock_addr =
   Backend.note_op_offset t.bk ~session:t.sid ~opnum ~offset;
   Backend.note_heads t.bk ~session:t.sid ~next_opnum:t.next_opnum ()
 
+(* A probe spinning against a live holder outside the co-simulation (no
+   scheduler to run the holder's release) would hang; convert that into
+   a loud failure. At one probe per rdma_atomic_ns this bound is minutes
+   of virtual time — far beyond any legitimate critical section. *)
+let max_lock_probes = 1_000_000
+
 let writer_lock t (h : Types.handle) =
   check_live t;
   lock_record t ~acquire:true h.Types.lock;
+  let requested = Clock.now t.clk in
+  (* Acquire by spinning RDMA CAS probes on the device lock word. Each
+     probe advances the clock (and so suspends under the co-simulation),
+     which is what lets the holder's release write land between two
+     probes of the loser — genuine within-operation contention. *)
+  let probes = ref 0 in
+  while not (Verbs.lock_probe t.conn ~addr:h.Types.lock) do
+    incr probes;
+    if !probes > max_lock_probes then
+      Fmt.failwith "%s: writer_lock: lock at %#x still held after %d CAS probes" t.cname
+        h.Types.lock max_lock_probes
+  done;
+  (* Outside the co-simulation execution order is not virtual-time order:
+     a winner's clock can still be behind the previous holder's release
+     time. The per-lock timeline keeps hold intervals serialized in
+     virtual time either way (under the scheduler the spin already did —
+     the winning probe executes after the release write, on a clock the
+     scheduler kept >= the holder's). *)
   let tl = Backend.lock_timeline t.bk h.Types.lock in
-  (* First CAS attempt. *)
-  Clock.advance ~cause:Asym_obs.Attr.Lock_wait t.clk t.lat.Latency.rdma_atomic_ns;
   let start = Timeline.hold tl ~at:(Clock.now t.clk) in
-  if start > Clock.now t.clk then begin
-    (* Contended: spin until the holder releases, then win a final CAS. *)
+  if start > Clock.now t.clk then
     Clock.wait_until ~cause:Asym_obs.Attr.Lock_wait t.clk start;
-    Clock.advance ~cause:Asym_obs.Attr.Lock_wait t.clk t.lat.Latency.rdma_atomic_ns
-  end;
-  Asym_nvm.Device.write_u64 (Backend.device t.bk) ~addr:h.Types.lock 1L
+  t.lock_wait_ns <- t.lock_wait_ns + (Clock.now t.clk - requested)
 
 let writer_unlock t (h : Types.handle) =
   check_live t;
@@ -635,25 +658,19 @@ let max_read_retries = 64
 let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
   check_live t;
   let ds = h.Types.id in
-  (* The co-simulation executes each client step atomically, so a writer
-     behind this reader in virtual time records its log-application window
-     retroactively — inside a section this reader already validated. The
-     first attempt therefore validates the whole span since the previous
-     section started, catching each retroactive window exactly once; the
-     retry rate then matches what a truly interleaved execution of
-     Algorithm 2 would observe. *)
+  (* Under the verb-granular co-simulation the section truly interleaves
+     with concurrent writers: a writer's log-application window lands in
+     the conflict tracker while this reader is suspended mid-section, so
+     validating exactly the section's own [started, now) span is
+     Algorithm 2 as written. *)
   let rec attempt n =
-    let amark = if Asym_obs.enabled () then Some (Asym_obs.Attr.snapshot ()) else None in
+    let amark =
+      if Asym_obs.enabled () then Some (Asym_obs.Attr.local_snapshot (Clock.attr t.clk))
+      else None
+    in
     (* Reader_Lock: fetch the sequence number. *)
     let _sn_begin = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
     let started = Clock.now t.clk in
-    let check_from =
-      if n > 0 then started
-      else
-        match Hashtbl.find_opt t.section_started ds with
-        | Some prev -> min prev started
-        | None -> started
-    in
     let outcome = try `Ok (f ()) with Invalid_argument _ | Failure _ -> `Torn_traversal in
     (* Reader_Unlock: re-fetch and compare. *)
     let _sn_end = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
@@ -664,7 +681,7 @@ let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
           match retry_on with
           | `Torn -> false
           | `Conflict ->
-              Backend.conflict_overlaps t.bk ~ds ~start_:check_from ~stop:(Clock.now t.clk))
+              Backend.conflict_overlaps t.bk ~ds ~start_:started ~stop:(Clock.now t.clk))
     in
     if conflicted && n < max_read_retries then begin
       t.n_retries <- t.n_retries + 1;
@@ -673,18 +690,18 @@ let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
         (* The failed attempt's time was wasted, whatever it was spent
            on: re-classify it as retry cost (total preserved). *)
         match amark with
-        | Some since -> Asym_obs.Attr.reattribute ~since Asym_obs.Attr.Read_retry
+        | Some since ->
+            Asym_obs.Attr.local_reattribute (Clock.attr t.clk) ~since
+              Asym_obs.Attr.Read_retry
         | None -> ()
       end;
       (match t.cache with Some c -> Cache.clear c | None -> ());
       attempt (n + 1)
     end
-    else begin
-      Hashtbl.replace t.section_started ds started;
+    else
       match outcome with
       | `Ok v -> v
       | `Torn_traversal -> failwith (t.cname ^ ": read section kept tearing")
-    end
   in
   attempt 0
 
@@ -719,7 +736,6 @@ let drop_volatile t =
 let crash t =
   drop_volatile t;
   Hashtbl.reset t.handles;
-  Hashtbl.reset t.section_started;
   t.crashed <- true;
   Asym_obs.Span.instant ~cat:"fault" ~track:t.cname ~ts:(Clock.now t.clk) "client.crash"
 
@@ -777,5 +793,4 @@ let switch_backend t bk =
       t.lat;
   t.falloc <- make_falloc t;
   Hashtbl.reset t.handles;
-  Hashtbl.reset t.section_started;
   resync_cursors t

@@ -102,4 +102,9 @@ val rdma_bytes : t -> int
 
 val flushes : t -> int
 val ops_executed : t -> int
+
+val lock_wait_ns : t -> Asym_sim.Simtime.t
+(** Total virtual time spent acquiring writer locks (CAS probes and
+    spinning) — the contention signal the `contention` bench reports. *)
+
 val allocator : t -> Front_alloc.t

@@ -205,11 +205,53 @@ let sensitivity_checks t =
       (fun naive rcb -> rcb > naive);
   ]
 
+let contention_checks t =
+  let experiment = "contention" in
+  let header = Report.header t in
+  match (col header "Writers", col header "Total KOPS", col header "Lock-wait share") with
+  | Some iw, Some ik, Some is ->
+      let share_at n =
+        List.find_opt (fun row -> cell row iw = Some (float_of_int n)) (Report.rows t)
+        |> Fun.flip Option.bind (fun row -> cell row is)
+      in
+      let share_grows =
+        match (share_at 1, share_at 8) with
+        | Some s1, Some s8 ->
+            {
+              experiment;
+              cname = "lock_wait_grows";
+              pass = s8 > s1;
+              detail =
+                Printf.sprintf "lock-wait share %.1f%% at 1 writer -> %.1f%% at 8" s1 s8;
+            }
+        | _ ->
+            { experiment; cname = "lock_wait_grows"; pass = false; detail = "missing row" }
+      in
+      let throughput_positive =
+        let bad =
+          List.find_opt
+            (fun row -> match cell row ik with Some k -> k <= 0.0 | None -> true)
+            (Report.rows t)
+        in
+        {
+          experiment;
+          cname = "throughput_positive";
+          pass = bad = None;
+          detail =
+            (match bad with
+            | None -> "every writer count makes progress"
+            | Some row -> Printf.sprintf "no progress at %s writers" (List.hd row));
+        }
+      in
+      [ share_grows; throughput_positive ]
+  | _ -> [ { experiment; cname = "lock_wait_grows"; pass = false; detail = "missing column" } ]
+
 let checks_for name t =
   match name with
   | "table3" -> table3_checks t
   | "latency" -> latency_checks t
   | "sensitivity" -> sensitivity_checks t
+  | "contention" -> contention_checks t
   | _ -> []
 
 (* -- diff ------------------------------------------------------------------- *)

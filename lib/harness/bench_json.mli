@@ -22,7 +22,7 @@ val cell_num : string -> float option
 
 val checks_for : string -> Report.t -> check list
 (** Shape verdicts for one experiment's freshly produced report (table3 /
-    latency / sensitivity today; empty for the rest). *)
+    latency / sensitivity / contention today; empty for the rest). *)
 
 val doc :
   scale:string -> experiments:(string * Report.t) list -> checks:check list -> Asym_obs.Json.t

@@ -1,8 +1,10 @@
 (** Multi-front-end experiments: reader scalability (Figure 8), multiple
     structures per back-end (Figure 9), partitioning over several
-    back-ends (Figure 10), CPU utilization (Figure 11) and the §6.3 lock
-    ping-point test. All of them co-simulate several front-end clocks with
-    {!Asym_sim.Sched}. *)
+    back-ends (Figure 10), CPU utilization (Figure 11), the §6.3 lock
+    ping-point test, and the lock-contention scaling study. Each client
+    is a straight-line loop handed to {!Asym_sim.Sched}, which suspends
+    it at every clock advance — clients interleave at verb granularity,
+    racing inside lock holds and optimistic read sections. *)
 
 open Asym_sim
 open Asym_core
@@ -53,12 +55,14 @@ let fig8_point ~kind ~readers ~preload ~duration =
   let deadline = t0 + duration in
   let wops = ref 0 in
   let wrng = Asym_util.Rng.create ~seed:51L in
+  let wclock = Client.clock writer in
   let wclient =
-    Sched.client ~clock:(Client.clock writer) ~step:(fun () ->
-        let k = Int64.of_int (Asym_util.Rng.int wrng (preload * 4)) in
-        winst.Runner.put k (Runner.value_of k);
-        incr wops;
-        true)
+    Sched.client ~clock:wclock ~run:(fun () ->
+        while Clock.now wclock < deadline do
+          let k = Int64.of_int (Asym_util.Rng.int wrng (preload * 4)) in
+          winst.Runner.put k (Runner.value_of k);
+          incr wops
+        done)
   in
   let rops = Hashtbl.create 8 in
   let rclients_s =
@@ -66,14 +70,16 @@ let fig8_point ~kind ~readers ~preload ~duration =
       (fun i (c, inst) ->
         let rng = Asym_util.Rng.create ~seed:(Int64.of_int (100 + i)) in
         Hashtbl.replace rops i 0;
-        Sched.client ~clock:(Client.clock c) ~step:(fun () ->
-            let k = Int64.of_int (Asym_util.Rng.int rng preload) in
-            ignore (inst.Runner.get k);
-            Hashtbl.replace rops i (Hashtbl.find rops i + 1);
-            true))
+        let clk = Client.clock c in
+        Sched.client ~clock:clk ~run:(fun () ->
+            while Clock.now clk < deadline do
+              let k = Int64.of_int (Asym_util.Rng.int rng preload) in
+              ignore (inst.Runner.get k);
+              Hashtbl.replace rops i (Hashtbl.find rops i + 1)
+            done))
       rinsts
   in
-  Sched.run ~deadline (wclient :: rclients_s);
+  Sched.run (wclient :: rclients_s);
   let writer_kops = kops_of !wops (Clock.now (Client.clock writer) - t0) in
   let reader_rates =
     List.mapi
@@ -143,14 +149,16 @@ let fig9_point ~kind ~n ~preload ~duration =
     List.mapi
       (fun i (c, inst) ->
         let rng = Asym_util.Rng.create ~seed:(Int64.of_int (200 + i)) in
-        Sched.client ~clock:(Client.clock c) ~step:(fun () ->
-            let k = Int64.of_int (Asym_util.Rng.int rng (preload * 4)) in
-            inst.Runner.put k (Runner.value_of k);
-            counts.(i) <- counts.(i) + 1;
-            true))
+        let clk = Client.clock c in
+        Sched.client ~clock:clk ~run:(fun () ->
+            while Clock.now clk < deadline do
+              let k = Int64.of_int (Asym_util.Rng.int rng (preload * 4)) in
+              inst.Runner.put k (Runner.value_of k);
+              counts.(i) <- counts.(i) + 1
+            done))
       clients
   in
-  Sched.run ~deadline scheds;
+  Sched.run scheds;
   let total = Array.fold_left ( + ) 0 counts in
   kops_of total duration
 
@@ -290,36 +298,37 @@ let lock_bench_point ~write_ratio ~readers ~duration =
   let deadline = t0 + duration in
   let writes = ref 0 in
   let wrng = Asym_util.Rng.create ~seed:81L in
+  let wclk = Client.clock wc in
   let writer =
-    Sched.client ~clock:(Client.clock wc) ~step:(fun () ->
-        if Asym_util.Rng.float wrng < write_ratio then begin
-          Client.writer_lock wc wh;
-          ignore (Client.op_begin wc ~ds:wh.Types.id ~optype:1 ~params:Bytes.empty);
-          Client.write wc ~ds:wh.Types.id ~addr (Bytes.make 64 'w');
-          Client.op_end wc ~ds:wh.Types.id;
-          Client.writer_unlock wc wh;
+    Sched.client ~clock:wclk ~run:(fun () ->
+        while Clock.now wclk < deadline do
+          if Asym_util.Rng.float wrng < write_ratio then begin
+            Client.writer_lock wc wh;
+            ignore (Client.op_begin wc ~ds:wh.Types.id ~optype:1 ~params:Bytes.empty);
+            Client.write wc ~ds:wh.Types.id ~addr (Bytes.make 64 'w');
+            Client.op_end wc ~ds:wh.Types.id;
+            Client.writer_unlock wc wh
+          end
+          else ignore (Client.read wc ~addr ~len:64);
           incr writes
-        end
-        else begin
-          ignore (Client.read wc ~addr ~len:64);
-          incr writes
-        end;
-        true)
+        done)
   in
   let reads = Array.make readers 0 in
   let fails = Array.make readers 0 in
   let rsched =
     List.mapi
       (fun i (c, hh) ->
-        Sched.client ~clock:(Client.clock c) ~step:(fun () ->
-            let before = Client.read_retries c in
-            ignore (Client.read_section c hh (fun () -> Client.read c ~addr ~len:64));
-            reads.(i) <- reads.(i) + 1;
-            fails.(i) <- fails.(i) + (Client.read_retries c - before);
-            true))
+        let clk = Client.clock c in
+        Sched.client ~clock:clk ~run:(fun () ->
+            while Clock.now clk < deadline do
+              let before = Client.read_retries c in
+              ignore (Client.read_section c hh (fun () -> Client.read c ~addr ~len:64));
+              reads.(i) <- reads.(i) + 1;
+              fails.(i) <- fails.(i) + (Client.read_retries c - before)
+            done))
       rcs
   in
-  Sched.run ~deadline (writer :: rsched);
+  Sched.run (writer :: rsched);
   let writer_kops = kops_of !writes (Clock.now (Client.clock wc) - t0) in
   let reader_total = Array.fold_left ( + ) 0 reads in
   let fail_total = Array.fold_left ( + ) 0 fails in
@@ -353,4 +362,85 @@ let lock_bench ~duration =
           Report.pct fails;
         ])
     [ 0.1; 0.5 ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Lock-contention scaling: N writers on one shared structure           *)
+(* ------------------------------------------------------------------ *)
+
+type contention_point = {
+  total_kops : float;
+  lock_wait_share : float;
+  avg_lock_wait_ns : float;
+}
+
+let contention_point ~writers ~preload ~duration =
+  let rig = Runner.make_rig lat in
+  (* flush_on_unlock: several front-ends write the same structure, so the
+     holder must make its writes visible before the next CAS winner reads
+     the tree — the config the paper requires for shared writers. *)
+  let cfg = { (Client.rcb ~batch_size:16 ()) with Client.flush_on_unlock = true } in
+  let setup = Runner.fresh_client ~name:"setup" rig cfg in
+  let sinst = Runner.client_instance ~shared:true Runner.Bst setup ~name:"contended-ds" in
+  Runner.preload_instance sinst ~fifo:false ~n:preload ~value_size:64;
+  Client.close setup;
+  let wcs =
+    List.init writers (fun i ->
+        let c = Runner.fresh_client ~name:(Printf.sprintf "w%d" i) rig cfg in
+        (c, Runner.client_instance ~shared:true Runner.Bst c ~name:"contended-ds"))
+  in
+  let clocks = List.map (fun (c, _) -> Client.clock c) wcs in
+  let t0 = align clocks in
+  let deadline = t0 + duration in
+  let counts = Array.make writers 0 in
+  let scheds =
+    List.mapi
+      (fun i (c, inst) ->
+        let rng = Asym_util.Rng.create ~seed:(Int64.of_int (300 + i)) in
+        let clk = Client.clock c in
+        Sched.client ~clock:clk ~run:(fun () ->
+            while Clock.now clk < deadline do
+              let k = Int64.of_int (Asym_util.Rng.int rng (preload * 4)) in
+              inst.Runner.put k (Runner.value_of k);
+              counts.(i) <- counts.(i) + 1
+            done))
+      wcs
+  in
+  Sched.run scheds;
+  let total = Array.fold_left ( + ) 0 counts in
+  let elapsed =
+    List.fold_left (fun a (c, _) -> a + (Clock.now (Client.clock c) - t0)) 0 wcs
+  in
+  let waited = List.fold_left (fun a (c, _) -> a + Client.lock_wait_ns c) 0 wcs in
+  {
+    total_kops = kops_of total duration;
+    lock_wait_share =
+      (if elapsed <= 0 then 0.0 else float_of_int waited /. float_of_int elapsed);
+    avg_lock_wait_ns =
+      (if total = 0 then 0.0 else float_of_int waited /. float_of_int total);
+  }
+
+let contention ~preload ~duration =
+  let t =
+    Report.create
+      ~title:"Lock contention: N writers racing for one shared BST's writer lock"
+      ~header:[ "Writers"; "Total KOPS"; "Lock-wait share"; "Avg lock wait (ns/op)" ]
+      ~notes:
+        [
+          "lock-wait share = sum of per-writer lock wait / sum of per-writer elapsed time";
+          "each CAS probe is a suspension point: spinning interleaves with the holder's verbs";
+        ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let p = contention_point ~writers:n ~preload ~duration in
+      Report.add_row t
+        [
+          string_of_int n;
+          Report.kops p.total_kops;
+          Report.pct p.lock_wait_share;
+          Printf.sprintf "%.0f" p.avg_lock_wait_ns;
+        ])
+    [ 1; 2; 3; 4; 6; 8 ];
   t

@@ -1,7 +1,8 @@
-(** Multi-front-end experiments, co-simulated with {!Asym_sim.Sched}:
-    reader scalability (Figure 8), independent structures sharing a
-    back-end (Figure 9), partitioning over several back-ends (Figure 10),
-    CPU utilization (Figure 11) and the §6.3 lock ping-point test. *)
+(** Multi-front-end experiments, co-simulated with {!Asym_sim.Sched} at
+    verb granularity: reader scalability (Figure 8), independent
+    structures sharing a back-end (Figure 9), partitioning over several
+    back-ends (Figure 10), CPU utilization (Figure 11), the §6.3 lock
+    ping-point test, and a lock-contention scaling study. *)
 
 type fig8_point = {
   writer_kops : float;
@@ -39,3 +40,19 @@ val lock_bench_point :
     ping-point test: 6 readers and 1 writer on a single 64-byte object. *)
 
 val lock_bench : duration:Asym_sim.Simtime.t -> Report.t
+
+type contention_point = {
+  total_kops : float;  (** aggregate throughput of all writers *)
+  lock_wait_share : float;
+      (** summed writer-lock wait / summed elapsed virtual time *)
+  avg_lock_wait_ns : float;  (** lock wait per completed operation *)
+}
+
+val contention_point :
+  writers:int -> preload:int -> duration:Asym_sim.Simtime.t -> contention_point
+(** [writers] front-ends all inserting into one shared BST, so every
+    operation races for the same §6.1 writer lock. Each CAS probe is a
+    co-simulation suspension point, so the lock-wait share measures true
+    verb-level contention. *)
+
+val contention : preload:int -> duration:Asym_sim.Simtime.t -> Report.t

@@ -109,6 +109,62 @@ let reattribute ~since:snap cause =
     sink.(i) <- sink.(i) + !moved
   end
 
+(* -- per-clock local sinks --------------------------------------------------
+
+   Under the verb-granular co-simulation several clocks charge into the
+   global sink interleaved, so a window delta over the global sink would
+   absorb other clients' causes. Each clock therefore owns a local sink;
+   [local_charge] updates both, keeping the invariant that the global
+   sink is the sum of all local sinks (conservation still holds
+   globally), while windowed queries ([local_since]/[local_reattribute])
+   see only their own clock's charges. *)
+
+type local = int array
+
+let local_create () = Array.make ncauses 0
+
+let local_charge l cause d =
+  if Gate.enabled () && d > 0 then begin
+    let i = index cause in
+    l.(i) <- l.(i) + d;
+    sink.(i) <- sink.(i) + d
+  end
+
+let local_total l = Array.fold_left ( + ) 0 l
+let local_snapshot l : snapshot = Array.copy l
+
+let local_since l snap =
+  List.map
+    (fun c ->
+      let i = index c in
+      let before = if Array.length snap = ncauses then snap.(i) else 0 in
+      (c, l.(i) - before))
+    all
+
+(* Like {!reattribute}, but over one clock's local window — the same
+   deltas are mirrored into the global sink so it stays the sum of the
+   locals. *)
+let local_reattribute l ~since:snap cause =
+  if Gate.enabled () then begin
+    let moved = ref 0 in
+    List.iter
+      (fun c ->
+        if c <> cause then begin
+          let i = index c in
+          let before = if Array.length snap = ncauses then snap.(i) else 0 in
+          let d = l.(i) - before in
+          if d > 0 then begin
+            l.(i) <- l.(i) - d;
+            sink.(i) <- sink.(i) - d;
+            moved := !moved + d
+          end
+        end)
+      all;
+    let i = index cause in
+    l.(i) <- l.(i) + !moved;
+    sink.(i) <- sink.(i) + !moved
+  end
+
 let breakdown () =
   List.filter_map (fun c -> match get c with 0 -> None | v -> Some (c, v)) all
 

@@ -44,6 +44,28 @@ val reattribute : since:snapshot -> cause -> unit
     (total preserved) — how failed read-section attempts become
     [Read_retry]. *)
 
+(** {2 Per-clock local sinks}
+
+    Under the verb-granular co-simulation several clocks interleave
+    their charges, so windowed deltas over the global sink would absorb
+    other clients' causes. Each [Sim.Clock] owns a local sink;
+    {!local_charge} updates both it and the global sink (which therefore
+    remains the sum of all locals — global conservation is unchanged),
+    while the windowed queries below see one clock only. *)
+
+type local
+
+val local_create : unit -> local
+val local_charge : local -> cause -> int -> unit
+val local_total : local -> int
+
+val local_snapshot : local -> snapshot
+val local_since : local -> snapshot -> (cause * int) list
+
+val local_reattribute : local -> since:snapshot -> cause -> unit
+(** {!reattribute} over one clock's window; the same deltas are mirrored
+    into the global sink. *)
+
 val flush_to_registry : unit -> unit
 (** Move the sink into [attr.ns{cause=...}] registry counters and clear
     it (phase scoping). *)

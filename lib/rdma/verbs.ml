@@ -120,6 +120,24 @@ let compare_and_swap t ~addr ~expected ~desired =
   atomic t ~op:"cas" ~media;
   Asym_nvm.Device.compare_and_swap t.remote_mem ~addr ~expected ~desired
 
+(* One writer-lock acquisition probe (§6.1): an RDMA CAS trying to flip
+   the lock word 0 -> 1. Returns whether the probe won. The full probe
+   cost is charged to Lock_wait — under the co-simulation each probe is
+   a suspension point, so a contending client's spin is a sequence of
+   probes genuinely interleaved with the holder's verbs, and the NIC
+   slot it books is queueing the other clients observe. Kept out of the
+   ops/wire accounting: Table 1 counts lock traffic separately from the
+   per-operation verbs, as the paper does. *)
+let lock_probe t ~addr =
+  check_alive t;
+  Asym_nvm.Crashpoint.in_verb "rdma.lock_cas" @@ fun () ->
+  let at = Clock.now t.client in
+  let dur = t.lat.Latency.rdma_post_ns in
+  let start = Timeline.acquire t.remote_nic ~at ~dur in
+  Clock.advance ~cause:Asym_obs.Attr.Lock_wait t.client t.lat.Latency.rdma_atomic_ns;
+  obs_verb t ~op:"lock_cas" ~wire:16 ~start ~dur;
+  Asym_nvm.Device.compare_and_swap t.remote_mem ~addr ~expected:0L ~desired:1L = 0L
+
 let fetch_add t ~addr delta =
   check_alive t;
   Asym_nvm.Crashpoint.in_verb "rdma.fetch_add" @@ fun () ->

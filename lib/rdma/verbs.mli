@@ -49,6 +49,15 @@ val write_unsignaled : conn -> addr:int -> bytes -> unit
 val compare_and_swap : conn -> addr:int -> expected:int64 -> desired:int64 -> int64
 val fetch_add : conn -> addr:int -> int64 -> int64
 
+val lock_probe : conn -> addr:int -> bool
+(** One §6.1 writer-lock acquisition probe: an RDMA CAS trying to flip
+    the lock word 0 -> 1; [true] when it won. Cost is charged to
+    [Lock_wait]; under the co-simulation each probe is a suspension
+    point, so spinning interleaves with the lock holder's verbs and the
+    NIC observes the true concurrent arrival order of the probes. Not
+    counted in {!ops_posted}/{!bytes_on_wire} (Table 1 separates lock
+    traffic from per-operation verbs). *)
+
 val ops_posted : conn -> int
 (** Number of verbs posted on this connection (IOPS accounting). *)
 

@@ -1,22 +1,51 @@
-type t = { name : string; mutable now : Simtime.t; mutable busy : Simtime.t }
+type t = {
+  name : string;
+  mutable now : Simtime.t;
+  mutable busy : Simtime.t;
+  (* Set by Sched.run while this clock's owner executes under the
+     effect handler; gates the Yield perform so clocks advanced outside
+     a co-simulation (single-client runs, setup code) never raise
+     Effect.Unhandled. *)
+  mutable coop : bool;
+  attr : Asym_obs.Attr.local;
+}
 
-let create ?(name = "node") () = { name; now = 0; busy = 0 }
+(* Performed after every forward movement of a cooperating clock — the
+   suspension point that makes clients resumable at every virtual-time
+   advance. Sched runs each client under a handler for this effect and
+   always resumes the globally-earliest clock. *)
+type _ Effect.t += Yield : t -> unit Effect.t
+
+let create ?(name = "node") () =
+  { name; now = 0; busy = 0; coop = false; attr = Asym_obs.Attr.local_create () }
+
 let name t = t.name
 let now t = t.now
+let attr t = t.attr
+let set_coop t v = t.coop <- v
+let coop t = t.coop
+let yield t = if t.coop then Effect.perform (Yield t)
 
 (* Every forward movement of [now] is charged to an attribution cause
    here, at the single choke point — so summing the per-cause sink always
-   reproduces elapsed virtual time exactly (the conservation property). *)
+   reproduces elapsed virtual time exactly (the conservation property).
+   The same choke point is where a cooperating client suspends: time
+   lands on the clock first, then the scheduler takes over, so the
+   side effects that follow the advance (a verb's media write, a lock
+   CAS decision) execute at the verb's completion time in global
+   virtual-time order. *)
 let advance ?(cause = Asym_obs.Attr.Local_compute) t d =
   assert (d >= 0);
-  Asym_obs.Attr.charge cause d;
+  Asym_obs.Attr.local_charge t.attr cause d;
   t.now <- t.now + d;
-  t.busy <- t.busy + d
+  t.busy <- t.busy + d;
+  if d > 0 then yield t
 
 let wait_until ?(cause = Asym_obs.Attr.Local_compute) t at =
   if at > t.now then begin
-    Asym_obs.Attr.charge cause (at - t.now);
-    t.now <- at
+    Asym_obs.Attr.local_charge t.attr cause (at - t.now);
+    t.now <- at;
+    yield t
   end
 
 let busy t = t.busy

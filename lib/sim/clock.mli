@@ -7,6 +7,12 @@
 
 type t
 
+type _ Effect.t += Yield : t -> unit Effect.t
+(** Performed after every forward movement of a {e cooperating} clock
+    (see {!set_coop}) — the suspension point of the verb-granular
+    co-simulation. {!Sched.run} installs the handler; a clock advanced
+    outside a scheduler never performs it. *)
+
 val create : ?name:string -> unit -> t
 val name : t -> string
 val now : t -> Simtime.t
@@ -21,6 +27,18 @@ val wait_until : ?cause:Asym_obs.Attr.cause -> t -> Simtime.t -> unit
 
 val busy : t -> Simtime.t
 (** Total busy time accumulated so far. *)
+
+val attr : t -> Asym_obs.Attr.local
+(** This clock's attribution sink: everything [advance]/[wait_until]
+    charge lands here {e and} in the global sink. Per-operation windows
+    are taken against this local sink so they survive mid-operation
+    suspension under the co-simulation. *)
+
+val set_coop : t -> bool -> unit
+(** Enable/disable the {!Yield} perform. Only {!Sched.run} should flip
+    this — a cooperating clock must be running under its handler. *)
+
+val coop : t -> bool
 
 val utilization : t -> since:Simtime.t -> busy_since:Simtime.t -> float
 (** Utilization over the window from [since] (with [busy_since] the busy

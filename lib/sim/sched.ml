@@ -1,26 +1,156 @@
-type client = { clock : Clock.t; step : unit -> bool; mutable live : bool }
+(* Verb-granular co-simulation engine.
 
-let client ~clock ~step = { clock; step; live = true }
+   Each client runs inside an OCaml 5 effect handler: every forward
+   movement of its clock performs [Clock.Yield] (see Clock.advance), the
+   handler captures the continuation, and the scheduler resumes the
+   globally-earliest clock — so clients suspend and resume *inside*
+   operations, at every virtual-time advance.
+
+   Determinism: the next client to run is a pure function of virtual
+   time — a binary min-heap keyed on (clock value, client id), with the
+   client id (list position passed to [run]) as the fixed tie-break.
+   Same program + same seeds therefore produce the same interleaving,
+   byte for byte. *)
+
+type body = Run of (unit -> unit) | Step of (unit -> bool)
+type client = { clock : Clock.t; body : body }
+
+let client ~clock ~run = { clock; body = Run run }
+let stepper ~clock ~step = { clock; body = Step step }
+
+(* -- task execution under the handler ----------------------------------- *)
+
+type status = Done | Yielded of (unit, status) Effect.Deep.continuation
+
+type task = {
+  id : int;
+  tclock : Clock.t;
+  mutable at : Simtime.t;  (* heap key: clock sampled at suspension *)
+  mutable state : state;
+}
+
+and state = Start of (unit -> unit) | Suspended of (unit, status) Effect.Deep.continuation
+
+let handler : (status, status) Effect.Deep.handler =
+  {
+    retc = (fun s -> s);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Clock.Yield _ ->
+            Some (fun (k : (a, status) Effect.Deep.continuation) -> Yielded k)
+        | _ -> None);
+  }
+
+let exec t =
+  match t.state with
+  | Start f -> Effect.Deep.match_with (fun () -> f (); Done) () handler
+  | Suspended k -> Effect.Deep.continue k ()
+
+(* -- binary min-heap on (at, id) ----------------------------------------- *)
+
+module Heap = struct
+  type t = { mutable a : task array; mutable n : int }
+
+  let create ~dummy cap = { a = Array.make (max 1 cap) dummy; n = 0 }
+  let before x y = x.at < y.at || (x.at = y.at && x.id < y.id)
+
+  let push h t =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) h.a.(0) in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- t;
+    while !i > 0 && before h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let min h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.a.(0) <- h.a.(h.n);
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < h.n && before h.a.(l) h.a.(!s) then s := l;
+          if r < h.n && before h.a.(r) h.a.(!s) then s := r;
+          if !s = !i then continue_ := false
+          else begin
+            let tmp = h.a.(!s) in
+            h.a.(!s) <- h.a.(!i);
+            h.a.(!i) <- tmp;
+            i := !s
+          end
+        done
+      end;
+      Some top
+    end
+end
+
+(* -- scheduler ------------------------------------------------------------ *)
 
 let run ?deadline clients =
-  let clients = Array.of_list clients in
-  let live = ref (Array.length clients) in
-  while !live > 0 do
-    (* Pick the live client with the smallest virtual time. *)
-    let best = ref (-1) in
-    Array.iteri
-      (fun i c ->
-        if c.live && (!best < 0 || Clock.now c.clock < Clock.now clients.(!best).clock) then
-          best := i)
-      clients;
-    let c = clients.(!best) in
-    let past_deadline =
-      match deadline with Some d -> Clock.now c.clock >= d | None -> false
-    in
-    if past_deadline || not (c.step ()) then begin
-      c.live <- false;
-      decr live
-    end
-  done
+  match clients with
+  | [] -> ()
+  | clients ->
+      let thunk c =
+        match c.body with
+        | Run f -> f
+        | Step step ->
+            (* Whole-operation compatibility clients: the deadline is
+               checked at step boundaries, exactly as the pre-effects
+               scheduler did. [Run] bodies own their loop condition. *)
+            let past () =
+              match deadline with Some d -> Clock.now c.clock >= d | None -> false
+            in
+            fun () ->
+              while (not (past ())) && step () do
+                ()
+              done
+      in
+      let tasks =
+        List.mapi
+          (fun id c ->
+            { id; tclock = c.clock; at = Clock.now c.clock; state = Start (thunk c) })
+          clients
+      in
+      let h = Heap.create ~dummy:(List.hd tasks) (List.length tasks) in
+      List.iter (fun t -> Heap.push h t) tasks;
+      List.iter (fun c -> Clock.set_coop c.clock true) clients;
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun c -> Clock.set_coop c.clock false) clients)
+        (fun () ->
+          let rec drive t =
+            match exec t with
+            | Done -> next ()
+            | Yielded k ->
+                t.at <- Clock.now t.tclock;
+                t.state <- Suspended k;
+                (* Fast path: still the earliest clock — keep running
+                   without touching the heap. *)
+                (match Heap.min h with
+                | Some m when Heap.before m t ->
+                    Heap.push h t;
+                    next ()
+                | _ -> drive t)
+          and next () =
+            match Heap.pop h with None -> () | Some t -> drive t
+          in
+          next ())
 
 let makespan clocks = List.fold_left (fun acc c -> Simtime.max acc (Clock.now c)) 0 clocks

@@ -1,19 +1,37 @@
-(** Cooperative multi-client co-simulation.
+(** Verb-granular cooperative co-simulation.
 
-    Each client is a (clock, step) pair; [step] performs exactly one
-    complete data-structure operation and returns [false] once the client
-    has no more work. The scheduler repeatedly runs the client whose
-    virtual clock is furthest behind, so operations across clients
-    interleave in virtual-time order — the property the conflict tracker
-    and the shared-resource timelines rely on. *)
+    Each client runs inside an OCaml 5 effect handler: every forward
+    movement of its clock ({!Clock.advance}/{!Clock.wait_until})
+    suspends it via {!Clock.Yield}, and the scheduler resumes the
+    client whose clock is globally earliest — so clients interleave
+    {e within} operations, at the granularity of individual RDMA verbs,
+    lock CAS probes, cache hits and log flushes.
+
+    Scheduling is deterministic: the next client is picked from a binary
+    min-heap keyed on (virtual time, client id), where the id is the
+    client's position in the list given to {!run} — a pure function of
+    virtual time with a fixed tie-break, so the same seeds reproduce the
+    same interleaving byte for byte. *)
 
 type client
 
-val client : clock:Clock.t -> step:(unit -> bool) -> client
+val client : clock:Clock.t -> run:(unit -> unit) -> client
+(** A straight-line client: [run] is the client's whole program,
+    suspended transparently at every clock advance. Loop/termination
+    conditions (e.g. a measurement deadline) live in the body itself. *)
+
+val stepper : clock:Clock.t -> step:(unit -> bool) -> client
+(** Compatibility constructor: [step] is called repeatedly until it
+    returns [false] (or the {!run} deadline passes, checked at step
+    boundaries). The steps themselves still interleave with other
+    clients at every clock advance. *)
 
 val run : ?deadline:Simtime.t -> client list -> unit
-(** Run all clients to completion, or stop scheduling clients whose clock
-    passed [deadline]. *)
+(** Run all clients to completion. [deadline] stops {!stepper} clients
+    whose clock reached it (checked between steps); straight-line
+    clients check their own loop conditions. Clients never suspend
+    permanently: an abandoned continuation would strand counters and
+    locks mid-operation. *)
 
 val makespan : Clock.t list -> Simtime.t
 (** Largest [now] among the given clocks. *)

@@ -1,8 +1,9 @@
-(* Busy intervals are kept sorted so that requests arriving slightly out of
-   (virtual-time) order — unavoidable when client steps execute atomically —
+(* Busy intervals are kept sorted so that requests arriving slightly out
+   of (virtual-time) order — possible for clocks advanced outside the
+   co-simulation scheduler, which resumes the globally-earliest clock —
    backfill idle gaps instead of queueing behind bookings made for later
-   times. Old intervals are pruned behind a horizon; requests older than the
-   horizon are conservatively clamped to it. *)
+   times. Old intervals are pruned behind a horizon; requests older than
+   the horizon are conservatively clamped to it. *)
 
 type t = {
   name : string;

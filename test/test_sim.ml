@@ -144,7 +144,7 @@ let test_sched_interleaves_by_time () =
     let clk = Clock.create ~name () in
     let left = ref n in
     ( clk,
-      Sched.client ~clock:clk ~step:(fun () ->
+      Sched.stepper ~clock:clk ~step:(fun () ->
           if !left = 0 then false
           else begin
             decr left;
@@ -166,7 +166,7 @@ let test_sched_deadline () =
   let clk = Clock.create () in
   let steps = ref 0 in
   let c =
-    Sched.client ~clock:clk ~step:(fun () ->
+    Sched.stepper ~clock:clk ~step:(fun () ->
         incr steps;
         Clock.advance clk 100;
         true)
