@@ -3,7 +3,7 @@
 # checked only when ocamlformat is installed (the CI container does not
 # ship it; .ocamlformat pins the version for environments that do).
 
-.PHONY: all build test fmt fmt-check check crashsweep bench demo clean
+.PHONY: all build test fmt fmt-check check crashsweep faultsweep bench demo clean
 
 all: build
 
@@ -31,6 +31,11 @@ check: build test fmt-check
 crashsweep:
 	dune exec bin/asymnvm.exe -- check --structure all --ops 50
 	dune exec bin/asymnvm.exe -- check --structure all --ops 5 --stride 1000 --fuzz 300
+
+# Transient-fault sweep: throughput, retry counts and read-back
+# integrity versus verb drop rate (Naive and RCB B+Trees).
+faultsweep:
+	dune exec bench/main.exe -- faultsweep
 
 bench:
 	dune exec bench/main.exe -- all

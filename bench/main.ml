@@ -65,6 +65,12 @@ let run_exp name full : (string * Report.t) list * Bench_json.check list =
           ("breakdown_resources", Breakdown.resource_table cells);
         ],
         Breakdown.checks cells )
+  | "faultsweep" ->
+      let cells =
+        Faultsweep.default_cells ~preload:(sc.Experiments.preload / 2)
+          ~ops:(sc.Experiments.ops / 2) ()
+      in
+      ([ ("faultsweep", Faultsweep.table cells) ], Faultsweep.checks cells)
   | "bechamel" ->
       Bechamel_micro.run ();
       ([], [])
@@ -99,7 +105,7 @@ let experiments =
   [
     "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
     "cache_policy"; "lock_bench"; "contention"; "ablation"; "sensitivity"; "latency"; "ycsb";
-    "breakdown";
+    "breakdown"; "faultsweep";
   ]
 
 (* The CI bench gate: the cheap experiments whose cells and shape
@@ -144,6 +150,7 @@ let cmds =
        Term.(const runner $ full_flag $ json_arg));
     sub "ablation" "Ablations of DESIGN.md design choices";
     sub "breakdown" "Latency attribution: where each configuration's virtual time goes";
+    sub "faultsweep" "Transient faults: throughput, retries and read-back integrity vs drop rate";
     sub "bechamel" "Bechamel wall-clock micro-benchmarks";
     all_cmd;
   ]

@@ -209,6 +209,7 @@ let sweep_json (o : Check.Explorer.outcome) =
       ("structure", String o.Check.Explorer.structure);
       ("ops", Int o.Check.Explorer.ops);
       ("seed", String (Int64.to_string o.Check.Explorer.seed));
+      ("fault_drop", Float o.Check.Explorer.drop);
       ("boundaries", Int o.Check.Explorer.boundaries);
       ("points_run", Int o.Check.Explorer.points_run);
       ( "sites",
@@ -233,6 +234,11 @@ let fuzz_json (o : Check.Fuzz.outcome) =
       ("backend_restarts", Int o.Check.Fuzz.backend_restarts);
       ("mirror_crashes", Int o.Check.Fuzz.mirror_crashes);
       ("promotions", Int o.Check.Fuzz.promotions);
+      ("fault_drop", Float o.Check.Fuzz.fault_drop);
+      ("grey_periods", Int o.Check.Fuzz.grey_periods);
+      ("verb_timeouts", Int o.Check.Fuzz.verb_timeouts);
+      ("fault_retries", Int o.Check.Fuzz.fault_retries);
+      ("reconnects", Int o.Check.Fuzz.reconnects);
       ("failures", List (List.map (fun f -> String f) o.Check.Fuzz.failures));
     ]
 
@@ -246,7 +252,7 @@ let check_json_arg =
            reproducers) to $(docv) as an asymnvm-check/1 JSON document.")
 
 let check_cmd =
-  let run structure ops seed stride no_tear point tear_point fuzz fuzz_clients json =
+  let run structure ops seed stride no_tear point tear_point fuzz fuzz_clients fault_drop json =
     let subjects =
       if structure = "all" then Check.Subject.all
       else
@@ -264,7 +270,9 @@ let check_cmd =
         (* Reproducer mode: one schedule, one armed crash point. *)
         List.iter
           (fun s ->
-            match Check.Explorer.run_point s ~ops ~seed ~point ~tear:tear_point with
+            match
+              Check.Explorer.run_point ~drop:fault_drop s ~ops ~seed ~point ~tear:tear_point
+            with
             | None ->
                 Fmt.pr "%-10s point %d%s: OK@." s.Check.Subject.name point
                   (if tear_point then " (torn)" else "");
@@ -299,7 +307,7 @@ let check_cmd =
     | None ->
         List.iter
           (fun s ->
-            let o = Check.Explorer.sweep ~stride ~tear:(not no_tear) s ~ops ~seed in
+            let o = Check.Explorer.sweep ~stride ~tear:(not no_tear) ~drop:fault_drop s ~ops ~seed in
             Fmt.pr "%a@." Check.Explorer.pp_outcome o;
             List.iter
               (fun (site, n) -> Fmt.pr "    %6d  %s@." n site)
@@ -312,7 +320,7 @@ let check_cmd =
         | steps ->
             List.iter
               (fun s ->
-                let o = Check.Fuzz.run ~clients:fuzz_clients s ~steps ~seed in
+                let o = Check.Fuzz.run ~clients:fuzz_clients ~drop:fault_drop s ~steps ~seed in
                 Fmt.pr "%a@." Check.Fuzz.pp_outcome o;
                 fuzzes := fuzz_json o :: !fuzzes;
                 if o.Check.Fuzz.failures <> [] then failed := true)
@@ -383,6 +391,15 @@ let check_cmd =
   let fuzz_clients =
     Arg.(value & opt int 2 & info [ "fuzz-clients" ] ~docv:"N" ~doc:"Fuzzer front-end count.")
   in
+  let fault_drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-drop" ] ~docv:"RATE"
+          ~doc:
+            "Run the sweep and fuzzer under the transient-fault model: each verb is lost with \
+             probability $(docv) (and the fuzzer also arms grey periods of heavy loss). The loss \
+             schedule is derived from $(b,--seed), so reproducers stay one-line. 0 = off.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -390,7 +407,7 @@ let check_cmd =
           boundary, crash there, recover, and validate against a pure reference model.")
     Term.(
       const run $ structure $ ops $ seed $ stride $ no_tear $ point $ tear_point $ fuzz
-      $ fuzz_clients $ check_json_arg)
+      $ fuzz_clients $ fault_drop $ check_json_arg)
 
 (* -- trace ------------------------------------------------------------------ *)
 

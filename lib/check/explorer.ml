@@ -15,6 +15,7 @@ type outcome = {
   structure : string;
   ops : int;
   seed : int64;
+  drop : float;
   boundaries : int;
   sites : (string * int) list;
   points_run : int;
@@ -22,8 +23,11 @@ type outcome = {
 }
 
 (* Every run gets a fresh world so crash points are independent and the
-   boundary numbering matches the census exactly. *)
-let fresh_world () =
+   boundary numbering matches the census exactly. The fault model (when
+   [drop] > 0) is seeded from the schedule seed, and the client's retry
+   jitter stream from its (fixed) name — so census and armed runs see the
+   same losses at the same verbs and number the same boundaries. *)
+let fresh_world ~seed ~drop () =
   let bk =
     Backend.create ~name:"chk-bk" ~max_sessions:4 ~memlog_cap:(512 * 1024)
       ~oplog_cap:(256 * 1024) ~slab_size:4096 ~capacity:(16 * 1024 * 1024) Latency.default
@@ -32,12 +36,15 @@ let fresh_world () =
     Client.connect ~name:"chk-fe" (Client.rcb ~batch_size:8 ()) bk
       ~clock:(Clock.create ~name:"chk-fe" ())
   in
+  if drop > 0. then
+    Asym_rdma.Verbs.set_fault (Client.connection fe)
+      (Some (Asym_rdma.Verbs.Fault.make ~drop_p:drop ~seed:(Int64.logxor seed 0xFA17L) ()));
   (bk, fe)
 
-let census (subject : Subject.t) opl =
+let census (subject : Subject.t) ~seed ~drop opl =
   Crash.reset ();
   Crash.set_census ();
-  let _bk, fe = fresh_world () in
+  let _bk, fe = fresh_world ~seed ~drop () in
   let inst = subject.Subject.attach fe in
   List.iter inst.Subject.apply opl;
   Client.flush fe;
@@ -64,10 +71,10 @@ let tearable site = String.length site >= 10 && String.sub site 0 10 = "rdma.wri
 (* Replay the schedule with a crash armed at [point]; recover; validate.
    Returns [Ok ()], a failure, or [`Skip] when the tear variant was
    requested for a non-tearable (atomic) boundary. *)
-let run_armed (subject : Subject.t) ~opl ~prefixes ~point ~tear =
+let run_armed (subject : Subject.t) ~opl ~prefixes ~seed ~drop ~point ~tear =
   Crash.reset ();
   Crash.arm point;
-  let bk, fe = fresh_world () in
+  let bk, fe = fresh_world ~seed ~drop () in
   let completed = ref 0 in
   let crashed =
     try
@@ -153,17 +160,18 @@ let run_armed (subject : Subject.t) ~opl ~prefixes ~point ~tear =
     end
   end
 
-let sweep ?(stride = 1) ?(tear = true) (subject : Subject.t) ~ops ~seed =
+let sweep ?(stride = 1) ?(tear = true) ?(drop = 0.) (subject : Subject.t) ~ops ~seed =
   if stride < 1 then invalid_arg "Explorer.sweep: stride must be >= 1";
+  if drop < 0. || drop >= 1. then invalid_arg "Explorer.sweep: drop must be in [0, 1)";
   let opl = Model.generate ~kind:subject.Subject.kind ~ops ~seed in
-  let boundaries, sites = census subject opl in
+  let boundaries, sites = census subject ~seed ~drop opl in
   let prefixes = prefix_models subject opl in
   let points_run = ref 0 and failures = ref [] in
   let point = ref 1 in
   while !point <= boundaries do
     List.iter
       (fun tear ->
-        match run_armed subject ~opl ~prefixes ~point:!point ~tear with
+        match run_armed subject ~opl ~prefixes ~seed ~drop ~point:!point ~tear with
         | `Skip -> ()
         | `Ok -> incr points_run
         | `Fail f ->
@@ -176,23 +184,25 @@ let sweep ?(stride = 1) ?(tear = true) (subject : Subject.t) ~ops ~seed =
     structure = subject.Subject.name;
     ops;
     seed;
+    drop;
     boundaries;
     sites;
     points_run = !points_run;
     failures = List.rev !failures;
   }
 
-let run_point (subject : Subject.t) ~ops ~seed ~point ~tear =
+let run_point ?(drop = 0.) (subject : Subject.t) ~ops ~seed ~point ~tear =
   let opl = Model.generate ~kind:subject.Subject.kind ~ops ~seed in
   let prefixes = prefix_models subject opl in
-  match run_armed subject ~opl ~prefixes ~point ~tear with
+  match run_armed subject ~opl ~prefixes ~seed ~drop ~point ~tear with
   | `Ok | `Skip -> None
   | `Fail f -> Some f
 
 let reproducer (o : outcome) (f : failure) =
-  Printf.sprintf "asymnvm check --structure %s --ops %d --seed %Ld --point %d%s" o.structure
+  Printf.sprintf "asymnvm check --structure %s --ops %d --seed %Ld --point %d%s%s" o.structure
     o.ops o.seed f.point
     (if f.torn <> None then " --tear-point" else "")
+    (if o.drop > 0. then Printf.sprintf " --fault-drop %g" o.drop else "")
 
 let pp_outcome fmt o =
   Fmt.pf fmt "%-10s seed=%Ld ops=%d: %d crash points, %d runs, %d failures" o.structure o.seed

@@ -34,18 +34,26 @@ type outcome = {
   structure : string;
   ops : int;
   seed : int64;
+  drop : float;  (** per-verb drop rate the sweep ran under (0 = none) *)
   boundaries : int;  (** census size *)
   sites : (string * int) list;  (** census histogram *)
   points_run : int;  (** replay runs executed (clean + torn variants) *)
   failures : failure list;
 }
 
-val sweep : ?stride:int -> ?tear:bool -> Subject.t -> ops:int -> seed:int64 -> outcome
+val sweep :
+  ?stride:int -> ?tear:bool -> ?drop:float -> Subject.t -> ops:int -> seed:int64 -> outcome
 (** [stride] samples every [stride]-th crash point (default 1 =
     exhaustive); [tear] (default true) adds the torn variant of each
-    tearable point. *)
+    tearable point. [drop] (default 0) runs the whole sweep under the
+    {!Asym_rdma.Verbs.Fault} transient-loss model — the loss schedule is
+    seeded from [seed], so the census and every armed replay lose the
+    same verbs and the boundary numbering stays aligned. Crashes then
+    land on retried verbs too, compounding transient faults with
+    permanent ones. *)
 
-val run_point : Subject.t -> ops:int -> seed:int64 -> point:int -> tear:bool -> failure option
+val run_point :
+  ?drop:float -> Subject.t -> ops:int -> seed:int64 -> point:int -> tear:bool -> failure option
 (** Re-run a single crash point (the reproducer entry point). *)
 
 val reproducer : outcome -> failure -> string

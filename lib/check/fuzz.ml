@@ -13,6 +13,11 @@ type outcome = {
   backend_restarts : int;
   mirror_crashes : int;
   promotions : int;
+  fault_drop : float;
+  grey_periods : int;
+  verb_timeouts : int;
+  fault_retries : int;
+  reconnects : int;
   failures : string list;
 }
 
@@ -31,6 +36,8 @@ type world = {
   insts : Subject.instance array;
   models : Model.t array;
   opnum : int array;  (* per-client op counter, tags generated values *)
+  drop : float;
+  mutable grey_periods : int;
   mutable failures : string list;
 }
 
@@ -43,7 +50,19 @@ let fail w ~step ~event detail =
       step event detail w.subject.Subject.name w.steps w.seed
     :: w.failures
 
-let make_world (subject : Subject.t) ~clients ~steps ~seed =
+(* Install the transient-fault model on a freshly (re)connected client.
+   Seeds derive from the world seed plus the client index, so the loss
+   schedule is part of the reproducer and survives reconnects. *)
+let install_fault w c =
+  if w.drop > 0. then
+    Asym_rdma.Verbs.set_fault
+      (Client.connection w.fes.(c))
+      (Some
+         (Asym_rdma.Verbs.Fault.make ~drop_p:w.drop ~delay_p:(w.drop /. 2.) ~delay_ns:3_000
+            ~seed:(Int64.add (Int64.logxor w.seed 0xFA17L) (Int64.of_int c))
+            ()))
+
+let make_world (subject : Subject.t) ~clients ~steps ~seed ~drop =
   let lat = Latency.default in
   let bk =
     Backend.create ~name:"fuzz-bk" ~max_sessions:(clients + 2) ~memlog_cap:(512 * 1024)
@@ -60,20 +79,26 @@ let make_world (subject : Subject.t) ~clients ~steps ~seed =
   let insts = Array.mapi (fun c fe -> subject.Subject.attach ~name:(inst_name c) fe) fes in
   Keepalive.register ka "backend" ~now:Simtime.zero;
   Array.iteri (fun c _ -> Keepalive.register ka (Printf.sprintf "fe%d" c) ~now:Simtime.zero) fes;
-  {
-    subject;
-    seed;
-    steps;
-    rng = Asym_util.Rng.create ~seed;
-    ka;
-    bk;
-    generation = 0;
-    fes;
-    insts;
-    models = Array.make clients subject.Subject.model0;
-    opnum = Array.make clients 0;
-    failures = [];
-  }
+  let w =
+    {
+      subject;
+      seed;
+      steps;
+      rng = Asym_util.Rng.create ~seed;
+      ka;
+      bk;
+      generation = 0;
+      fes;
+      insts;
+      models = Array.make clients subject.Subject.model0;
+      opnum = Array.make clients 0;
+      drop;
+      grey_periods = 0;
+      failures = [];
+    }
+  in
+  Array.iteri (fun c _ -> install_fault w c) fes;
+  w
 
 (* Recover client [c] on whatever back-end it currently points at:
    re-sync the session, re-attach the instance, replay uncovered ops. *)
@@ -198,6 +223,9 @@ let step_promotion w ~step =
         (fun c fe ->
           match
             Client.switch_backend fe bk';
+            (* switch_backend opens a fresh connection — re-arm its
+               loss schedule so faults survive the failover. *)
+            install_fault w c;
             recover_client w c
           with
           | () -> validate w ~step ~event:"promotion" c
@@ -207,9 +235,21 @@ let step_promotion w ~step =
         w.fes;
       `Promoted
 
-let run ?(clients = 2) (subject : Subject.t) ~steps ~seed:sd =
+(* Arm a grey period — a window of heavy loss — on one client's
+   connection, starting now. The window is shorter than the keepAlive
+   lease, so a correct stack rides it out with retries; a spurious
+   failover or a dump/model divergence under grey loss is a bug. *)
+let step_grey w ~step:_ =
+  let c = Asym_util.Rng.int w.rng (Array.length w.fes) in
+  let dur = Simtime.us (50 + Asym_util.Rng.int w.rng 450) in
+  let from_ = Clock.now (Client.clock w.fes.(c)) in
+  Asym_rdma.Verbs.arm_grey (Client.connection w.fes.(c)) ~from_ ~until:(from_ + dur);
+  w.grey_periods <- w.grey_periods + 1
+
+let run ?(clients = 2) ?(drop = 0.) (subject : Subject.t) ~steps ~seed:sd =
   if clients < 1 then invalid_arg "Fuzz.run: clients must be >= 1";
-  let w = make_world subject ~clients ~steps ~seed:sd in
+  if drop < 0. || drop >= 1. then invalid_arg "Fuzz.run: drop must be in [0, 1)";
+  let w = make_world subject ~clients ~steps ~seed:sd ~drop in
   let ops_applied = ref 0
   and validations = ref 0
   and client_crashes = ref 0
@@ -217,6 +257,9 @@ let run ?(clients = 2) (subject : Subject.t) ~steps ~seed:sd =
   and mirror_crashes = ref 0
   and promotions = ref 0 in
   for step = 1 to steps do
+    (* Fault-schedule steps draw from the RNG only when faults are on,
+       so a faults-off run replays exactly the historical schedule. *)
+    if drop > 0. && Asym_util.Rng.int w.rng 100 < 10 then step_grey w ~step;
     (match Asym_util.Rng.int w.rng 100 with
     | r when r < 62 ->
         step_op w ~step;
@@ -249,6 +292,7 @@ let run ?(clients = 2) (subject : Subject.t) ~steps ~seed:sd =
     validate w ~step:steps ~event:"final" c;
     incr validations
   done;
+  let sum f = Array.fold_left (fun n fe -> n + f fe) 0 w.fes in
   {
     structure = subject.Subject.name;
     clients;
@@ -260,6 +304,11 @@ let run ?(clients = 2) (subject : Subject.t) ~steps ~seed:sd =
     backend_restarts = !backend_restarts;
     mirror_crashes = !mirror_crashes;
     promotions = !promotions;
+    fault_drop = drop;
+    grey_periods = w.grey_periods;
+    verb_timeouts = sum (fun fe -> Asym_rdma.Verbs.verb_timeouts (Client.connection fe));
+    fault_retries = sum Client.fault_retries;
+    reconnects = sum Client.reconnects;
     failures = List.rev w.failures;
   }
 
@@ -269,4 +318,7 @@ let pp_outcome fmt o =
      backend restarts, %d mirror crashes, %d promotions, %d failures"
     o.structure o.seed o.steps o.clients o.ops_applied o.validations o.client_crashes
     o.backend_restarts o.mirror_crashes o.promotions (List.length o.failures);
+  if o.fault_drop > 0. then
+    Fmt.pf fmt "@.  faults: drop=%.3f, %d grey periods, %d verb timeouts, %d retries, %d reconnects"
+      o.fault_drop o.grey_periods o.verb_timeouts o.fault_retries o.reconnects;
   List.iter (fun f -> Fmt.pf fmt "@.  FAIL %s" f) o.failures

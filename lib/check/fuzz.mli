@@ -25,12 +25,26 @@ type outcome = {
   backend_restarts : int;
   mirror_crashes : int;
   promotions : int;
+  fault_drop : float;  (** per-verb drop rate the run was fuzzed under *)
+  grey_periods : int;  (** grey windows armed by fault-schedule steps *)
+  verb_timeouts : int;  (** verbs lost to injection (current connections) *)
+  fault_retries : int;  (** retried verbs, summed over clients *)
+  reconnects : int;  (** degraded-reconnect cycles, summed over clients *)
   failures : string list;
 }
 
-val run : ?clients:int -> Subject.t -> steps:int -> seed:int64 -> outcome
+val run : ?clients:int -> ?drop:float -> Subject.t -> steps:int -> seed:int64 -> outcome
 (** [clients] defaults to 2. Each client owns an independently named
     instance of the subject, so every structure — including the
-    single-writer multi-version ones — fuzzes under multi-client load. *)
+    single-writer multi-version ones — fuzzes under multi-client load.
+
+    [drop] (default 0) turns on the {!Asym_rdma.Verbs.Fault} transient
+    fault model: every verb is lost with probability [drop] (plus
+    injected delays, plus randomly armed grey periods of heavy loss
+    shorter than the keepAlive lease). The schedule is a pure function
+    of [seed] and draws nothing from the RNG when [drop] is 0, so
+    faults-off runs replay historical schedules unchanged. Any
+    dump/model divergence or spurious failover under loss is a bug in
+    the retry layer, not an accepted outcome. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

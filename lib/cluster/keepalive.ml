@@ -50,12 +50,18 @@ let members t = Hashtbl.fold (fun node _ acc -> node :: acc) t.seen []
    [period] until [until]. Each wait is a scheduler suspension point, so
    when run alongside front-end clients the renewals land between their
    verbs at true virtual times — lease expiry races verb traffic instead
-   of being checked only at operation boundaries. *)
-let heartbeat t ~clock ~node ~period ~until =
+   of being checked only at operation boundaries.
+
+   [send] models the renewal actually crossing the (possibly faulty)
+   fabric: when it returns [false] the renewal for that period is simply
+   not observed. The lease absorbs the gap — a grey period shorter than
+   the lease minus one period costs nothing, which is what keeps transient
+   fabric trouble from masquerading as a dead node. *)
+let heartbeat ?(send = fun () -> true) t ~clock ~node ~period ~until =
   Asym_sim.Sched.client ~clock ~run:(fun () ->
-      renew t node ~now:(Asym_sim.Clock.now clock);
+      if send () then renew t node ~now:(Asym_sim.Clock.now clock);
       while Asym_sim.Clock.now clock < until do
         let next = min until (Asym_sim.Clock.now clock + period) in
         Asym_sim.Clock.wait_until clock next;
-        renew t node ~now:(Asym_sim.Clock.now clock)
+        if send () then renew t node ~now:(Asym_sim.Clock.now clock)
       done)

@@ -35,6 +35,7 @@ val forget : t -> node_id -> unit
 val members : t -> node_id list
 
 val heartbeat :
+  ?send:(unit -> bool) ->
   t ->
   clock:Asym_sim.Clock.t ->
   node:node_id ->
@@ -45,4 +46,11 @@ val heartbeat :
     lease every [period] of virtual time until [until]. Handed to
     {!Asym_sim.Sched.run} alongside front-end clients, each renewal is a
     suspension point, so lease timers genuinely interleave with RDMA
-    verb traffic instead of firing only at operation boundaries. *)
+    verb traffic instead of firing only at operation boundaries.
+
+    [send] (default: always [true]) is called once per period and models
+    the renewal surviving the fabric — pass {!Asym_core.Client.ping} (or
+    any retried probe) to make renewals ride the same faulty connection
+    as the data path. A [false] skips that period's renewal; the lease
+    majority absorbs grey periods shorter than [lease - period] without
+    declaring the node crashed. *)

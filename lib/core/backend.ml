@@ -50,6 +50,7 @@ type t = {
   mutable n_rpcs : int;
   mutable n_replayed_txs : int;
   mutable n_replayed_entries : int;
+  mutable n_dup_replays : int;
 }
 
 let rpc_base_ns = 400
@@ -64,6 +65,7 @@ let mirrors t = t.mirror_list
 let is_crashed t = t.crashed
 let replayed_txs t = t.n_replayed_txs
 let replayed_entries t = t.n_replayed_entries
+let dup_replays_absorbed t = t.n_dup_replays
 let rpcs_served t = t.n_rpcs
 let used_slabs t = Backend_alloc.used_slabs t.alloc
 
@@ -159,6 +161,7 @@ let create ?(name = "backend") ?(max_sessions = 8) ?(memlog_cap = 4 * 1024 * 102
     n_rpcs = 0;
     n_replayed_txs = 0;
     n_replayed_entries = 0;
+    n_dup_replays = 0;
   }
 
 let attach_mirror t m =
@@ -304,9 +307,21 @@ let replay_pending t ~at s =
     match result with
     | `Record (tx, consumed) ->
         let raw = Bytes.sub chunk 0 consumed in
+        (* Dedup check: a frame at or below the covered OPN is a
+           retransmission of an already-applied transaction (a client
+           retry after a lost ack, or a re-drain racing a reconnect).
+           Absorbing it is safe — entries are absolute-address redo
+           records, so re-applying is idempotent — but it must never
+           move the covered OPN backwards. *)
+        let covered_before = s.opn_covered in
+        if tx.Log.Tx.entries <> [] && Int64.compare tx.Log.Tx.op_hi covered_before <= 0 then begin
+          t.n_dup_replays <- t.n_dup_replays + 1;
+          if Asym_obs.enabled () then Asym_obs.Registry.inc "log.dup_replays"
+        end;
         time := apply_tx t ~at:!time ~ring_base ~ring_off:pos tx raw;
         if Int64.compare tx.Log.Tx.op_hi s.opn_covered > 0 then
           s.opn_covered <- tx.Log.Tx.op_hi;
+        assert (Int64.compare s.opn_covered covered_before >= 0);
         truncate_ring t ~ring_base ~off:pos ~len:consumed;
         s.lpn <- (pos + consumed) mod cap
     | `Wrap ->
@@ -393,13 +408,26 @@ let unreplayed_ops t ~session =
   check_alive t;
   let s = get_session t session in
   let records, _, _ = scan_oplog t s in
-  records
-  |> List.filter_map (fun (op, _) ->
-         if
-           (not (internal_optype op.Log.Op_entry.optype))
-           && Int64.compare op.Log.Op_entry.opnum s.opn_covered > 0
-         then Some op
-         else None)
+  let ops =
+    records
+    |> List.filter_map (fun (op, _) ->
+           if
+             (not (internal_optype op.Log.Op_entry.optype))
+             && Int64.compare op.Log.Op_entry.opnum s.opn_covered > 0
+           then Some op
+           else None)
+  in
+  (* Recovery re-executes these: a duplicated opnum here would double-apply
+     an operation, so the stream must be strictly increasing. (A retried
+     op-log append lands at the same ring offset — positional idempotence —
+     which is exactly what this assertion pins down.) *)
+  ignore
+    (List.fold_left
+       (fun last op ->
+         assert (Int64.compare op.Log.Op_entry.opnum last > 0);
+         op.Log.Op_entry.opnum)
+       s.opn_covered ops);
+  ops
 
 let abandoned_locks t ~session =
   check_alive t;
@@ -500,6 +528,7 @@ let of_device ?(name = "backend") dev lat =
       n_rpcs = 0;
       n_replayed_txs = 0;
       n_replayed_entries = 0;
+      n_dup_replays = 0;
     }
   in
   ignore (restart t);

@@ -123,5 +123,11 @@ val session_cursors : t -> session:Types.session_id -> Rpc_msg.cursors
 
 val replayed_txs : t -> int
 val replayed_entries : t -> int
+
+(** Memory-log frames scanned with an OPN at or below the session's
+    covered cursor — retransmissions from a client retry after a lost
+    ack. They are absorbed idempotently (redo entries carry absolute
+    addresses); this counter makes the dedup explicit and testable. *)
+val dup_replays_absorbed : t -> int
 val rpcs_served : t -> int
 val used_slabs : t -> int

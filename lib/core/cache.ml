@@ -25,6 +25,7 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable relinks : int;  (* recency-list moves that were not already-MRU no-ops *)
 }
 
 let create ?(choose_set = 32) ~policy ~page_size ~capacity_bytes rng =
@@ -43,6 +44,7 @@ let create ?(choose_set = 32) ~policy ~page_size ~capacity_bytes rng =
     tick = 0;
     hits = 0;
     misses = 0;
+    relinks = 0;
   }
 
 let page_size t = t.page
@@ -50,6 +52,7 @@ let capacity_pages t = t.cap
 let length t = t.count
 let hits t = t.hits
 let misses t = t.misses
+let relinks t = t.relinks
 
 let reset_stats t =
   t.hits <- 0;
@@ -72,10 +75,15 @@ let push_front t n =
 let touch t n =
   t.tick <- t.tick + 1;
   n.last_use <- t.tick;
-  if t.mru != Some n then begin
-    detach t n;
-    push_front t n
-  end
+  (* Compare the nodes, not the options: [t.mru != Some n] tested
+     physical inequality against a freshly boxed option, which is always
+     true, so every hit on the MRU page detached and re-linked it. *)
+  match t.mru with
+  | Some m when m == n -> ()
+  | _ ->
+      t.relinks <- t.relinks + 1;
+      detach t n;
+      push_front t n
 
 (* -- dense array (for random sampling) ----------------------------------- *)
 

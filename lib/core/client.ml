@@ -12,6 +12,9 @@ type config = {
   oplog_signaled : bool;
   flush_on_unlock : bool;
   pointer_wire_opt : bool;
+  retry_max : int;
+  retry_base_ns : int;
+  retry_cap_ns : int;
 }
 
 (* Managing an exact-LRU recency structure costs real instructions on
@@ -30,6 +33,13 @@ let base_config =
     oplog_signaled = true;
     flush_on_unlock = false;
     pointer_wire_opt = true;
+    (* Retry policy for verbs lost to transient faults: up to [retry_max]
+       re-posts with capped exponential backoff starting at one round
+       trip, then the connection is treated as degraded and
+       re-established. *)
+    retry_max = 8;
+    retry_base_ns = 2_000;
+    retry_cap_ns = 200_000;
   }
 
 let naive () = { base_config with mode = `Direct }
@@ -86,6 +96,9 @@ type t = {
   mutable n_ops : int;
   mutable n_retries : int;
   mutable lock_wait_ns : Simtime.t;  (* virtual time spent acquiring writer locks *)
+  retry_rng : Asym_util.Rng.t;  (* backoff jitter, seeded from the client name *)
+  mutable n_fault_retries : int;
+  mutable n_reconnects : int;
 }
 
 let clock t = t.clk
@@ -102,6 +115,9 @@ let rdma_ops t = Verbs.ops_posted t.conn
 let rdma_bytes t = Verbs.bytes_on_wire t.conn
 let allocator t = t.falloc
 let batch_size t = t.cfg.batch_size
+let connection t = t.conn
+let fault_retries t = t.n_fault_retries
+let reconnects t = t.n_reconnects
 
 let cache_stats t =
   match t.cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
@@ -109,6 +125,60 @@ let cache_stats t =
 let invalidate_cache t = match t.cache with Some c -> Cache.clear c | None -> ()
 
 let check_live t = if t.crashed then failwith (t.cname ^ ": client is crashed")
+
+(* -- transient-fault retry --------------------------------------------------- *)
+
+(* A blackout longer than the full per-verb budget times this many
+   reconnect cycles is indistinguishable from a dead back-end; give up
+   and let the caller's failure handling take over. *)
+let max_reconnects_per_verb = 64
+
+let backoff_ns t n =
+  let capped = min t.cfg.retry_cap_ns (t.cfg.retry_base_ns lsl min n 16) in
+  capped + Asym_util.Rng.int t.retry_rng (max 1 (capped / 4))
+
+(* Run [f], absorbing verbs lost to transient faults: re-post with capped
+   exponential backoff (seeded jitter) up to the per-verb budget; when
+   the budget runs dry, treat the connection as degraded, re-establish
+   it, and resume with a fresh budget. The resumed attempt re-posts the
+   same verb at the same absolute address — safe because log appends are
+   positional and replay is opnum-idempotent, and atomics only ever lose
+   the request (never the ack). Only {!Verbs.Verb_timeout} is absorbed:
+   real failures ([Failure_detected]) and injected crash points still
+   propagate. *)
+let with_retry t f =
+  let rec go ~attempt ~reconnects =
+    try f ()
+    with Verbs.Verb_timeout _ as e ->
+      if attempt < t.cfg.retry_max then begin
+        t.n_fault_retries <- t.n_fault_retries + 1;
+        if Asym_obs.enabled () then Asym_obs.Registry.inc "client.fault_retries";
+        Clock.advance ~cause:Asym_obs.Attr.Fault_retry t.clk (backoff_ns t attempt);
+        go ~attempt:(attempt + 1) ~reconnects
+      end
+      else if reconnects < max_reconnects_per_verb then begin
+        (* Degraded: tear down and re-establish the queue pair. Cursors
+           are untouched — nothing the lost verb was carrying has been
+           acknowledged, so the resumed attempt simply re-posts it. *)
+        t.n_reconnects <- t.n_reconnects + 1;
+        if Asym_obs.enabled () then Asym_obs.Registry.inc "client.reconnects";
+        Asym_obs.Span.instant ~cat:"fault" ~track:t.cname ~ts:(Clock.now t.clk)
+          "client.degraded_reconnect";
+        Clock.advance ~cause:Asym_obs.Attr.Fault_retry t.clk (3 * t.lat.Latency.rdma_rtt_ns);
+        go ~attempt:0 ~reconnects:(reconnects + 1)
+      end
+      else raise e
+  in
+  go ~attempt:0 ~reconnects:0
+
+(* A minimal liveness probe over the faulty path: one retried 8-byte read
+   of the superblock. [false] means even the full retry/reconnect budget
+   could not get a verb through — the caller (e.g. a lease renewal loop)
+   should skip a period rather than declare the remote dead. *)
+let ping t =
+  match with_retry t (fun () -> ignore (Verbs.read t.conn ~addr:0 ~len:8)) with
+  | () -> true
+  | exception Verbs.Verb_timeout _ -> false
 
 (* -- RPC ------------------------------------------------------------------ *)
 
@@ -222,6 +292,11 @@ let connect ?(name = "frontend") ?rng cfg bk ~clock =
       n_ops = 0;
       n_retries = 0;
       lock_wait_ns = 0;
+      (* The name hash keeps jitter streams distinct per client while a
+         rerun with the same topology draws the same stream. *)
+      retry_rng = Asym_util.Rng.create ~seed:(Int64.of_int (Hashtbl.hash name));
+      n_fault_retries = 0;
+      n_reconnects = 0;
     }
   in
   (match Backend.rpc bk ~conn ~session:None (Rpc_msg.Open_session { client_name = name; reuse = None }) with
@@ -278,7 +353,7 @@ let read_via_cache t c ~addr ~len =
             Asym_obs.Registry.inc ~labels:[ ("event", "miss") ] "client.cache";
           let cap = Asym_nvm.Device.capacity (Backend.device t.bk) in
           let plen = min page (cap - page_base) in
-          let b = Verbs.read t.conn ~addr:page_base ~len:plen in
+          let b = with_retry t (fun () -> Verbs.read t.conn ~addr:page_base ~len:plen) in
           (* The overlay also patches the inserted page so the cache never
              goes backwards w.r.t. our own pending writes. *)
           Overlay.patch t.overlay ~addr:page_base b;
@@ -308,7 +383,7 @@ let read ?(hint = `Hot) t ~addr ~len =
       let b =
         match t.cache with
         | Some c when hint = `Hot -> read_via_cache t c ~addr ~len
-        | _ -> Verbs.read t.conn ~addr ~len
+        | _ -> with_retry t (fun () -> Verbs.read t.conn ~addr ~len)
       in
       Overlay.patch t.overlay ~addr b;
       b
@@ -326,11 +401,12 @@ let oplog_append ?(signaled = None) t raw =
   let obs_t0 = if Asym_obs.enabled () then Clock.now t.clk else 0 in
   if t.oplog_head + len > cap then begin
     (* Wrap: drop a marker and continue at the ring base. *)
-    Verbs.write t.conn ~addr:(ring_base + t.oplog_head) Log.Op_entry.wrap_marker;
+    with_retry t (fun () ->
+        Verbs.write t.conn ~addr:(ring_base + t.oplog_head) Log.Op_entry.wrap_marker);
     t.oplog_head <- 0
   end;
   let offset = t.oplog_head in
-  (if signaled then Verbs.write t.conn ~addr:(ring_base + offset) raw
+  (if signaled then with_retry t (fun () -> Verbs.write t.conn ~addr:(ring_base + offset) raw)
    else begin
      Verbs.write_unsignaled t.conn ~addr:(ring_base + offset) raw;
      t.unsignaled_posts <- t.unsignaled_posts + 1;
@@ -376,7 +452,7 @@ let write t ~ds ~addr value =
   check_live t;
   match t.cfg.mode with
   | `Direct ->
-      Verbs.write t.conn ~addr value;
+      with_retry t (fun () -> Verbs.write t.conn ~addr value);
       (match t.cache with Some c -> Cache.patch c ~addr value | None -> ())
   | `Logged ->
       let from_op =
@@ -408,7 +484,7 @@ let cas_u64 t ~ds addr ~expected ~desired =
   ignore ds;
   match t.cfg.mode with
   | `Direct ->
-      let old = Verbs.compare_and_swap t.conn ~addr ~expected ~desired in
+      let old = with_retry t (fun () -> Verbs.compare_and_swap t.conn ~addr ~expected ~desired) in
       if old = expected then begin
         let b = Bytes.create 8 in
         Bytes.set_int64_le b 0 desired;
@@ -419,7 +495,8 @@ let cas_u64 t ~ds addr ~expected ~desired =
       let current =
         match Overlay.try_read t.overlay ~addr ~len:8 with
         | Some b -> Bytes.get_int64_le b 0
-        | None -> Bytes.get_int64_le (Verbs.read t.conn ~addr ~len:8) 0
+        | None ->
+            Bytes.get_int64_le (with_retry t (fun () -> Verbs.read t.conn ~addr ~len:8)) 0
       in
       if current <> expected then current
       else begin
@@ -442,7 +519,7 @@ let run_pending_cas t =
     Hashtbl.reset t.pending_cas;
     List.iter
       (fun (addr, expected, desired) ->
-        let old = Verbs.compare_and_swap t.conn ~addr ~expected ~desired in
+        let old = with_retry t (fun () -> Verbs.compare_and_swap t.conn ~addr ~expected ~desired) in
         if old <> expected then
           Fmt.failwith "%s: deferred root CAS lost a race (second writer on an MV structure?)"
             t.cname;
@@ -498,10 +575,12 @@ let flush t =
     let ring_base, cap = Backend.memlog_ring t.bk ~session:t.sid in
     if total + 1 > cap then failwith (t.cname ^ ": transaction exceeds memory-log ring");
     if t.memlog_head + total + 1 > cap then begin
-      Verbs.write t.conn ~addr:(ring_base + t.memlog_head) Log.Tx.wrap_marker;
+      with_retry t (fun () ->
+          Verbs.write t.conn ~addr:(ring_base + t.memlog_head) Log.Tx.wrap_marker);
       t.memlog_head <- 0
     end;
-    Verbs.write ~wire_len:wire t.conn ~addr:(ring_base + t.memlog_head) payload;
+    with_retry t (fun () ->
+        Verbs.write ~wire_len:wire t.conn ~addr:(ring_base + t.memlog_head) payload);
     t.memlog_head <- t.memlog_head + total;
     Backend.note_heads t.bk ~session:t.sid ~memlog_head:t.memlog_head
       ~next_opnum:t.next_opnum ();
@@ -616,7 +695,7 @@ let writer_lock t (h : Types.handle) =
      which is what lets the holder's release write land between two
      probes of the loser — genuine within-operation contention. *)
   let probes = ref 0 in
-  while not (Verbs.lock_probe t.conn ~addr:h.Types.lock) do
+  while not (with_retry t (fun () -> Verbs.lock_probe t.conn ~addr:h.Types.lock)) do
     incr probes;
     if !probes > max_lock_probes then
       Fmt.failwith "%s: writer_lock: lock at %#x still held after %d CAS probes" t.cname
@@ -669,11 +748,11 @@ let read_section ?(retry_on = `Conflict) t (h : Types.handle) f =
       else None
     in
     (* Reader_Lock: fetch the sequence number. *)
-    let _sn_begin = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
+    let _sn_begin = with_retry t (fun () -> Verbs.read t.conn ~addr:h.Types.sn ~len:8) in
     let started = Clock.now t.clk in
     let outcome = try `Ok (f ()) with Invalid_argument _ | Failure _ -> `Torn_traversal in
     (* Reader_Unlock: re-fetch and compare. *)
-    let _sn_end = Verbs.read t.conn ~addr:h.Types.sn ~len:8 in
+    let _sn_end = with_retry t (fun () -> Verbs.read t.conn ~addr:h.Types.sn ~len:8) in
     let conflicted =
       match outcome with
       | `Torn_traversal -> true

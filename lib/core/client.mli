@@ -30,6 +30,11 @@ type config = {
   pointer_wire_opt : bool;
       (** §4.3: replace a memory-log value already durable in the op log
           with a 12-byte pointer on the wire (ablation toggle) *)
+  retry_max : int;
+      (** re-posts of a verb lost to a transient fault before the
+          connection is treated as degraded and re-established *)
+  retry_base_ns : int;  (** first backoff step (doubles per attempt) *)
+  retry_cap_ns : int;  (** backoff ceiling *)
 }
 
 val naive : unit -> config
@@ -69,6 +74,16 @@ val session : t -> Types.session_id
 val config : t -> config
 val name : t -> string
 
+val connection : t -> Asym_rdma.Verbs.conn
+(** The underlying verb connection — how tests and the fault fuzzer
+    install {!Asym_rdma.Verbs.Fault} models and arm grey periods. *)
+
+val ping : t -> bool
+(** One retried 8-byte read of the superblock over the (possibly faulty)
+    connection. [false] when even the full retry/reconnect budget could
+    not get a verb through — lease-renewal loops use it to skip a period
+    instead of letting a grey blip masquerade as a dead node. *)
+
 val close : t -> unit
 (** Flush, then release the session: its slot and log rings become
     available to another front-end. The client must not be used after
@@ -106,5 +121,14 @@ val ops_executed : t -> int
 val lock_wait_ns : t -> Asym_sim.Simtime.t
 (** Total virtual time spent acquiring writer locks (CAS probes and
     spinning) — the contention signal the `contention` bench reports. *)
+
+val fault_retries : t -> int
+(** Verbs re-posted after a transient loss ({!Asym_rdma.Verbs.Verb_timeout}).
+    Deterministic for a given fault seed — the `faultsweep` bench reports
+    it per drop rate. *)
+
+val reconnects : t -> int
+(** Times the retry budget ran dry and the connection was re-established
+    (degraded → reconnect → resume). *)
 
 val allocator : t -> Front_alloc.t

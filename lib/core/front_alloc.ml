@@ -152,6 +152,10 @@ let free t addr ~len =
   match Hashtbl.find_opt t.large addr with
   | Some slabs ->
       Hashtbl.remove t.large addr;
+      (* This is a back-end round trip just like the large-alloc path, so
+         it must count: the Table 2 RPC totals pair every large alloc
+         with its free. *)
+      t.n_slab_rpc <- t.n_slab_rpc + 1;
       t.ops.free_slabs addr slabs
   | None -> (
       ignore len;

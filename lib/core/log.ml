@@ -31,8 +31,13 @@ module Tx = struct
     Codec.Enc.u32i e (List.length t.entries);
     List.iter
       (fun { Mem_entry.addr; value; from_op } ->
-        let flag = match from_op with Some _ -> flag_op_pointer | None -> flag_inline in
-        Codec.Enc.u8 e flag;
+        (* A pointer entry must carry the op number it points at — the
+           old encoding dropped it and [scan] fabricated [Some 0L]. *)
+        (match from_op with
+        | Some opn ->
+            Codec.Enc.u8 e flag_op_pointer;
+            Codec.Enc.u64 e opn
+        | None -> Codec.Enc.u8 e flag_inline);
         Codec.Enc.u64i e addr;
         Codec.Enc.u32i e (Bytes.length value);
         Codec.Enc.bytes e value)
@@ -50,9 +55,11 @@ module Tx = struct
     end;
     raw
 
-  (* Header (1+4+8+4) + per entry (1+8+4 + payload) + commit (1) + crc (4).
-     An entry whose value is already durable in the operation log ships a
-     12-byte pointer (op number + offset) instead of the value. *)
+  (* Wire cost, not stored size. Header (1+4+8+4) + per entry (1+8+4 +
+     payload) + commit (1) + crc (4). An entry whose value is already
+     durable in the operation log ships a 12-byte pointer (op number +
+     offset) instead of the value — the stored frame additionally spends
+     8 bytes on the op number, but the wire charges only the pointer. *)
   let wire_size t =
     let entry_payload { Mem_entry.value; from_op; _ } =
       match from_op with
@@ -84,11 +91,11 @@ module Tx = struct
             for _ = 1 to n do
               let flag = Codec.Dec.u8 d in
               if flag <> flag_inline && flag <> flag_op_pointer then raise Exit;
+              let from_op = if flag = flag_op_pointer then Some (Codec.Dec.u64 d) else None in
               let addr = Codec.Dec.u64i d in
               let len = Codec.Dec.u32i d in
               if len > Bytes.length buf then raise Exit;
               let value = Codec.Dec.bytes d len in
-              let from_op = if flag = flag_op_pointer then Some 0L else None in
               entries := { Mem_entry.addr; value; from_op } :: !entries
             done;
             if Codec.Dec.u8 d <> tag_commit then raise Exit;

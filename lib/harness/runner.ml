@@ -308,8 +308,11 @@ let with_cache_pct rig (cfg : Client.config) pct =
 
 (* -- preload -------------------------------------------------------------- *)
 
+(* Zero-filled, not [Bytes.create]: uninitialized payload bytes made the
+   stored media image (and every CRC over it) differ run to run, so a
+   value written and rebuilt for comparison never matched. *)
 let value_of ?(size = 64) key =
-  let b = Bytes.create size in
+  let b = Bytes.make size '\000' in
   Bytes.set_int64_le b 0 key;
   b
 

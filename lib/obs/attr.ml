@@ -13,6 +13,7 @@ type cause =
   | Read_retry
   | Replay_wait
   | Alloc_rpc
+  | Fault_retry
   | Local_compute
 
 let all =
@@ -25,10 +26,11 @@ let all =
     Read_retry;
     Replay_wait;
     Alloc_rpc;
+    Fault_retry;
     Local_compute;
   ]
 
-let ncauses = 9
+let ncauses = 10
 
 let index = function
   | Rdma_rtt -> 0
@@ -39,7 +41,8 @@ let index = function
   | Read_retry -> 5
   | Replay_wait -> 6
   | Alloc_rpc -> 7
-  | Local_compute -> 8
+  | Fault_retry -> 8
+  | Local_compute -> 9
 
 let name = function
   | Rdma_rtt -> "rdma_rtt"
@@ -50,6 +53,7 @@ let name = function
   | Read_retry -> "read_retry"
   | Replay_wait -> "replay_wait"
   | Alloc_rpc -> "alloc_rpc"
+  | Fault_retry -> "fault_retry"
   | Local_compute -> "local_compute"
 
 let of_name = function
@@ -61,6 +65,7 @@ let of_name = function
   | "read_retry" -> Some Read_retry
   | "replay_wait" -> Some Replay_wait
   | "alloc_rpc" -> Some Alloc_rpc
+  | "fault_retry" -> Some Fault_retry
   | "local_compute" -> Some Local_compute
   | _ -> None
 

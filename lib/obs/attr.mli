@@ -15,6 +15,9 @@ type cause =
   | Read_retry  (** optimistic read sections that failed validation *)
   | Replay_wait  (** persist fences waiting out back-end log replay *)
   | Alloc_rpc  (** management RPCs (allocation, naming, sessions) *)
+  | Fault_retry
+      (** transient-fault handling: verb-timeout waits, injected fabric
+          delays, retry backoff and reconnect handshakes *)
   | Local_compute  (** front-end DRAM/CPU work (cache hits, buffering) *)
 
 val all : cause list
@@ -37,7 +40,7 @@ val snapshot : unit -> snapshot
 (** A copy of the sink, for windowed deltas ({!since}). *)
 
 val since : snapshot -> (cause * int) list
-(** Per-cause ns charged since the snapshot (all nine causes). *)
+(** Per-cause ns charged since the snapshot (all causes). *)
 
 val reattribute : since:snapshot -> cause -> unit
 (** Re-classify everything charged since the snapshot as [cause]

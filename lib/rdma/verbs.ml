@@ -1,6 +1,32 @@
 open Asym_sim
 
 exception Failure_detected of string
+exception Verb_timeout of string
+
+(* -- transient-fault model ---------------------------------------------------
+
+   Between "the fabric works" and "the node is dead" sits the grey zone
+   this module injects: individual verbs silently lost or delayed, with
+   elevated loss inside armed grey periods. All randomness comes from a
+   per-connection seeded stream, so a whole faulty run replays
+   byte-for-byte from its seed. *)
+
+module Fault = struct
+  type t = {
+    seed : int64;
+    drop_p : float;  (* baseline per-verb loss probability *)
+    grey_drop_p : float;  (* loss probability inside an armed grey window *)
+    delay_p : float;  (* extra-delay probability for delivered verbs *)
+    delay_ns : int;  (* maximum injected fabric delay *)
+    timeout_ns : int;  (* 0 = connection's Latency.verb_timeout_ns *)
+  }
+
+  let make ?(drop_p = 0.) ?(grey_drop_p = 0.9) ?(delay_p = 0.) ?(delay_ns = 2_000)
+      ?(timeout_ns = 0) ~seed () =
+    if drop_p < 0. || drop_p > 1. || grey_drop_p < 0. || grey_drop_p > 1. then
+      invalid_arg "Verbs.Fault.make: probabilities must be in [0, 1]";
+    { seed; drop_p; grey_drop_p; delay_p; delay_ns; timeout_ns }
+end
 
 type conn = {
   client : Clock.t;
@@ -10,15 +36,100 @@ type conn = {
   mutable failed : bool;
   mutable ops : int;
   mutable wire_bytes : int;
+  mutable fault : (Fault.t * Asym_util.Rng.t) option;
+  mutable grey : (Simtime.t * Simtime.t) list;  (* armed grey windows *)
+  mutable n_timeouts : int;
+  mutable n_delays : int;
 }
 
 let connect ~client ~remote_nic ~remote_mem lat =
-  { client; remote_nic; remote_mem; lat; failed = false; ops = 0; wire_bytes = 0 }
+  {
+    client;
+    remote_nic;
+    remote_mem;
+    lat;
+    failed = false;
+    ops = 0;
+    wire_bytes = 0;
+    fault = None;
+    grey = [];
+    n_timeouts = 0;
+    n_delays = 0;
+  }
 
 let client_clock t = t.client
 let remote_mem t = t.remote_mem
 let set_failed t v = t.failed <- v
 let is_failed t = t.failed
+
+let set_fault t f =
+  t.fault <-
+    (match f with
+    | None -> None
+    | Some f -> Some (f, Asym_util.Rng.create ~seed:f.Fault.seed));
+  if f = None then t.grey <- []
+
+let has_fault t = t.fault <> None
+let verb_timeouts t = t.n_timeouts
+let injected_delays t = t.n_delays
+
+let arm_grey t ~from_ ~until =
+  if until <= from_ then invalid_arg "Verbs.arm_grey: empty window";
+  t.grey <- (from_, until) :: t.grey
+
+let in_grey t =
+  let now = Clock.now t.client in
+  List.exists (fun (a, b) -> now >= a && now < b) t.grey
+
+let timeout_ns t =
+  match t.fault with
+  | Some (f, _) when f.Fault.timeout_ns > 0 -> f.Fault.timeout_ns
+  | _ -> t.lat.Latency.verb_timeout_ns
+
+(* The fate of one verb attempt. [`Request]: lost before reaching the
+   remote side, no remote effect at all. [`Ack]: the verb executed
+   remotely but its completion never came back. Atomics only ever lose
+   the request — a CAS that won but looks lost would make blind retry
+   unsafe, and real RNICs treat unacked atomics as not-executed
+   (retransmission happens below the verb interface). *)
+type fate = Deliver of int | Lost of [ `Request | `Ack ]
+
+let fate t ~atomic =
+  match t.fault with
+  | None -> Deliver 0
+  | Some (f, rng) ->
+      let now = Clock.now t.client in
+      t.grey <- List.filter (fun (_, b) -> b > now) t.grey;
+      let drop_p =
+        if List.exists (fun (a, b) -> now >= a && now < b) t.grey then
+          Float.max f.Fault.drop_p f.Fault.grey_drop_p
+        else f.Fault.drop_p
+      in
+      if Asym_util.Rng.float rng < drop_p then
+        Lost
+          (if atomic then `Request
+           else if Asym_util.Rng.bool rng then `Request
+           else `Ack)
+      else if Asym_util.Rng.float rng < f.Fault.delay_p then
+        Deliver (1 + Asym_util.Rng.int rng (max 1 f.Fault.delay_ns))
+      else Deliver 0
+
+(* A lost verb from the client's point of view: wait out the completion
+   timeout (charged as fault-handling time, so attribution conservation
+   holds), then surface the loss. Not counted in ops/wire — the verb
+   never completed. *)
+let lose t ~op =
+  t.n_timeouts <- t.n_timeouts + 1;
+  Clock.advance ~cause:Asym_obs.Attr.Fault_retry t.client (timeout_ns t);
+  if Asym_obs.enabled () then
+    Asym_obs.Registry.inc ~labels:[ ("op", op) ] "rdma.verb_timeouts";
+  raise (Verb_timeout (op ^ "/" ^ Asym_nvm.Device.name t.remote_mem))
+
+let inject_delay t d =
+  if d > 0 then begin
+    t.n_delays <- t.n_delays + 1;
+    Clock.advance ~cause:Asym_obs.Attr.Fault_retry t.client d
+  end
 
 let check_alive t =
   if t.failed then raise (Failure_detected (Asym_nvm.Device.name t.remote_mem))
@@ -67,6 +178,10 @@ let check_bounds t ~addr ~len =
 let read t ~addr ~len =
   check_alive t;
   check_bounds t ~addr ~len;
+  (* A lost read has no remote side effect whichever direction vanished. *)
+  (match fate t ~atomic:false with
+  | Lost _ -> lose t ~op:"read"
+  | Deliver d -> inject_delay t d);
   let service = Latency.rdma_payload_ns t.lat len in
   let media = Asym_nvm.Device.read_cost t.remote_mem ~len in
   let _done_at = round_trip t ~op:"read" ~wire:len ~service ~media in
@@ -76,14 +191,32 @@ let read t ~addr ~len =
 let write ?wire_len t ~addr b =
   check_alive t;
   check_bounds t ~addr ~len:(Bytes.length b);
+  let verdict = fate t ~atomic:false in
+  (match verdict with Lost `Request -> lose t ~op:"write" | _ -> ());
   Asym_nvm.Crashpoint.in_verb "rdma.write" @@ fun () ->
   let len = match wire_len with Some w -> w | None -> Bytes.length b in
   let service = Latency.rdma_payload_ns t.lat len in
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len in
-  let _done_at = round_trip t ~op:"write" ~wire:len ~service ~media in
-  t.wire_bytes <- t.wire_bytes + len;
-  Asym_nvm.Device.write t.remote_mem ~addr b
+  match verdict with
+  | Lost `Ack ->
+      (* The write reached the media — only the completion was lost. The
+         remote NIC does the work; the client just times out. Retrying is
+         safe because every write in this system lands at an absolute
+         address (log appends are positional, replay is idempotent). *)
+      let at = Clock.now t.client in
+      ignore (Timeline.acquire t.remote_nic ~at ~dur:(t.lat.Latency.rdma_post_ns + service));
+      Asym_nvm.Device.write t.remote_mem ~addr b;
+      lose t ~op:"write"
+  | _ ->
+      inject_delay t (match verdict with Deliver d -> d | Lost _ -> 0);
+      let _done_at = round_trip t ~op:"write" ~wire:len ~service ~media in
+      t.wire_bytes <- t.wire_bytes + len;
+      Asym_nvm.Device.write t.remote_mem ~addr b
 
+(* Unsignaled posts are exempt from loss injection: with no completion to
+   wait for there is nothing to time out on. Their durability is only
+   promised by the next signaled verb — which IS injected, so a grey
+   period still surfaces through the synchronizing round trip. *)
 let write_unsignaled t ~addr b =
   check_alive t;
   Asym_nvm.Crashpoint.in_verb "rdma.write_unsignaled" @@ fun () ->
@@ -115,6 +248,9 @@ let atomic t ~op ~media =
 
 let compare_and_swap t ~addr ~expected ~desired =
   check_alive t;
+  (match fate t ~atomic:true with
+  | Lost _ -> lose t ~op:"cas"
+  | Deliver d -> inject_delay t d);
   Asym_nvm.Crashpoint.in_verb "rdma.cas" @@ fun () ->
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
   atomic t ~op:"cas" ~media;
@@ -130,6 +266,9 @@ let compare_and_swap t ~addr ~expected ~desired =
    per-operation verbs, as the paper does. *)
 let lock_probe t ~addr =
   check_alive t;
+  (match fate t ~atomic:true with
+  | Lost _ -> lose t ~op:"lock_cas"
+  | Deliver d -> inject_delay t d);
   Asym_nvm.Crashpoint.in_verb "rdma.lock_cas" @@ fun () ->
   let at = Clock.now t.client in
   let dur = t.lat.Latency.rdma_post_ns in
@@ -140,6 +279,9 @@ let lock_probe t ~addr =
 
 let fetch_add t ~addr delta =
   check_alive t;
+  (match fate t ~atomic:true with
+  | Lost _ -> lose t ~op:"fetch_add"
+  | Deliver d -> inject_delay t d);
   Asym_nvm.Crashpoint.in_verb "rdma.fetch_add" @@ fun () ->
   let media = Asym_nvm.Device.write_cost t.remote_mem ~len:8 in
   atomic t ~op:"fetch_add" ~media;

@@ -15,6 +15,40 @@ exception Failure_detected of string
 (** Raised when the remote end is marked failed — the RNIC feedback the
     front-end uses to detect back-end crashes (paper §7.2 Case 3). *)
 
+exception Verb_timeout of string
+(** A signaled verb's completion never arrived within the timeout: the
+    verb was lost to transient fabric trouble (see {!Fault}), not to a
+    dead node. The initiating layer may retry — log appends and data
+    writes land at absolute addresses and replay is opnum-idempotent, so
+    re-posting is always safe; atomics only ever lose the {e request}
+    (never the ack), so retrying them cannot double-apply. *)
+
+(** Per-connection transient-fault model: seeded per-verb loss and extra
+    fabric delay, plus armed "grey periods" of elevated loss. All draws
+    come from one generator seeded at {!set_fault}, so a faulty run is
+    reproducible byte-for-byte from its seed. *)
+module Fault : sig
+  type t = {
+    seed : int64;
+    drop_p : float;  (** baseline per-verb loss probability *)
+    grey_drop_p : float;  (** loss probability inside a grey window *)
+    delay_p : float;  (** extra-delay probability for delivered verbs *)
+    delay_ns : int;  (** maximum injected fabric delay per verb *)
+    timeout_ns : int;  (** 0 = use the connection's [verb_timeout_ns] *)
+  }
+
+  val make :
+    ?drop_p:float ->
+    ?grey_drop_p:float ->
+    ?delay_p:float ->
+    ?delay_ns:int ->
+    ?timeout_ns:int ->
+    seed:int64 ->
+    unit ->
+    t
+  (** Defaults: no baseline loss or delay, [grey_drop_p] = 0.9. *)
+end
+
 type conn
 
 val connect :
@@ -29,6 +63,26 @@ val remote_mem : conn -> Asym_nvm.Device.t
 
 val set_failed : conn -> bool -> unit
 val is_failed : conn -> bool
+
+val set_fault : conn -> Fault.t option -> unit
+(** Install (or clear, with [None]) the transient-fault model. Clearing
+    also disarms any remaining grey windows. *)
+
+val has_fault : conn -> bool
+
+val arm_grey : conn -> from_:Asym_sim.Simtime.t -> until:Asym_sim.Simtime.t -> unit
+(** Arm a grey period: verbs posted in [\[from_, until)] of virtual time
+    are lost with [grey_drop_p] instead of [drop_p]. Windows auto-expire
+    as the clock passes them. No effect until a fault model is set. *)
+
+val in_grey : conn -> bool
+(** Whether the connection's clock currently sits inside a grey window. *)
+
+val verb_timeouts : conn -> int
+(** Verbs lost to fault injection (each raised {!Verb_timeout}). *)
+
+val injected_delays : conn -> int
+(** Delivered verbs that suffered an injected fabric delay. *)
 
 val read : conn -> addr:int -> len:int -> bytes
 (** RDMA_Read: one round trip, blocks the client. *)

@@ -10,6 +10,7 @@ type t = {
   cpu_op_ns : int;
   cpu_entry_ns : int;
   ssd_write_ns : int;
+  verb_timeout_ns : int;
 }
 
 let default =
@@ -28,6 +29,9 @@ let default =
     cpu_op_ns = 150;
     cpu_entry_ns = 120;
     ssd_write_ns = 80_000;
+    (* 10 round trips: long enough that queueing behind a busy NIC never
+       trips it, short enough that a retry storm stays sub-millisecond. *)
+    verb_timeout_ns = 20_000;
   }
 
 let lines len = if len <= 0 then 1 else (len + 63) / 64

@@ -17,6 +17,9 @@ type t = {
   cpu_op_ns : int;  (** fixed local compute per data-structure operation *)
   cpu_entry_ns : int;  (** backend compute to replay one memory-log entry *)
   ssd_write_ns : int;  (** mirror node backed by SSD instead of NVM *)
+  verb_timeout_ns : int;
+      (** how long a client waits on a signaled verb's completion before
+          declaring it lost ({!Asym_rdma.Verbs} fault injection) *)
 }
 
 val default : t

@@ -138,6 +138,19 @@ let test_front_alloc_large_goes_remote () =
   let l = Backend.layout bk in
   check Alcotest.int "slab aligned" 0 ((big - l.Layout.data_base) mod l.Layout.slab_size)
 
+let test_front_alloc_rpc_symmetry () =
+  (* Every large alloc is one slab RPC and its free is another: the pair
+     must move the counter by exactly two (the free path used to issue
+     the free_slabs RPC without counting it). *)
+  let bk = mk_backend () in
+  let fe, _ = mk_client bk in
+  let a = Client.allocator fe in
+  let before = Front_alloc.slab_rpcs a in
+  let big = Client.malloc fe 10_000 in
+  check Alcotest.int "alloc counted" (before + 1) (Front_alloc.slab_rpcs a);
+  Client.free fe big ~len:10_000;
+  check Alcotest.int "free counted" (before + 2) (Front_alloc.slab_rpcs a)
+
 let test_front_alloc_misaligned_free_rejected () =
   let bk = mk_backend () in
   let fe, _ = mk_client bk in
@@ -380,6 +393,7 @@ let () =
           Alcotest.test_case "local fast path" `Quick test_front_alloc_local_fast_path;
           Alcotest.test_case "free/reuse" `Quick test_front_alloc_free_reuse;
           Alcotest.test_case "large goes remote" `Quick test_front_alloc_large_goes_remote;
+          Alcotest.test_case "alloc/free rpc symmetry" `Quick test_front_alloc_rpc_symmetry;
           Alcotest.test_case "misaligned free rejected" `Quick
             test_front_alloc_misaligned_free_rejected;
         ] );

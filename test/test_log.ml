@@ -68,9 +68,22 @@ let test_tx_wire_size_pointer_optimization () =
   let pointed = tx [ entry ~from_op:5L 0 (String.make 64 'v') ] in
   check Alcotest.bool "pointer form smaller on the wire" true
     (Log.Tx.wire_size pointed < Log.Tx.wire_size plain);
-  (* But both encode the value inline for integrity. *)
-  check Alcotest.int "encoded equal" (Bytes.length (Log.Tx.encode plain))
-    (Bytes.length (Log.Tx.encode pointed))
+  (* Both encode the value inline for integrity; the pointer frame
+     additionally stores the 8-byte op number it points at. *)
+  check Alcotest.int "stored frame carries the op number"
+    (Bytes.length (Log.Tx.encode plain) + 8)
+    (Bytes.length (Log.Tx.encode pointed));
+  (* The op number must round-trip — a scan that fabricates it would
+     send recovery to the wrong op-log record. *)
+  match Log.Tx.scan (Log.Tx.encode pointed) ~pos:0 with
+  | Log.Tx.Record (t', _) -> (
+      match t'.Log.Tx.entries with
+      | [ e ] ->
+          check Alcotest.(option int64) "from_op" (Some 5L) e.Log.Mem_entry.from_op;
+          check Alcotest.string "value inline" (String.make 64 'v')
+            (Bytes.to_string e.Log.Mem_entry.value)
+      | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es))
+  | _ -> Alcotest.fail "expected record"
 
 let test_op_roundtrip () =
   let op = { Log.Op_entry.ds = 7; opnum = 42L; optype = 3; params = Bytes.of_string "kv" } in
